@@ -1,0 +1,118 @@
+// Command slcbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	slcbench -all                 # everything (written to -out, default stdout)
+//	slcbench -fig 7               # one figure (1, 2, 7, 8, 9)
+//	slcbench -table 1             # one table (1, 2, 3)
+//	slcbench -all -out report.txt -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/compress"
+	"repro/internal/experiments"
+	"repro/internal/gpu/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("slcbench: ")
+	var (
+		all       = flag.Bool("all", false, "regenerate every table and figure")
+		fig       = flag.Int("fig", 0, "regenerate one figure (1, 2, 7, 8, 9)")
+		table     = flag.Int("table", 0, "regenerate one table (1, 2, 3)")
+		ablations = flag.Bool("ablations", false, "run the ablation study")
+		out       = flag.String("out", "", "write output to this file instead of stdout")
+		verbose   = flag.Bool("v", false, "log per-run progress to stderr")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	r := experiments.NewRunner()
+	if *verbose {
+		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ..", s) }
+	}
+
+	switch {
+	case *all:
+		if err := experiments.Report(w, r); err != nil {
+			log.Fatal(err)
+		}
+	case *ablations:
+		ab, err := experiments.RunAblations(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprint(w, ab)
+	case *table != 0:
+		switch *table {
+		case 1:
+			fmt.Fprint(w, experiments.TableI())
+		case 2:
+			fmt.Fprint(w, experiments.TableII(sim.DefaultConfig()))
+		case 3:
+			fmt.Fprint(w, experiments.TableIII())
+		default:
+			log.Fatalf("unknown table %d (have 1, 2, 3)", *table)
+		}
+	case *fig != 0:
+		if err := runFigure(w, r, *fig); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runFigure(w io.Writer, r *experiments.Runner, fig int) error {
+	switch fig {
+	case 1:
+		f, err := experiments.Figure1(r, compress.MAG32)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, f)
+	case 2:
+		f, err := experiments.Figure2(r, compress.MAG32)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, f)
+	case 7:
+		f, err := experiments.Figure7(r)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, f)
+	case 8:
+		f, err := experiments.Figure8(r)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, f)
+	case 9:
+		f, err := experiments.Figure9(r)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, f)
+	default:
+		return fmt.Errorf("unknown figure %d (have 1, 2, 7, 8, 9)", fig)
+	}
+	return nil
+}

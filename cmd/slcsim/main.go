@@ -1,0 +1,118 @@
+// Command slcsim runs one benchmark under one compression configuration and
+// prints the full measurement: compression statistics, timing, traffic,
+// energy and application error.
+//
+// Usage:
+//
+//	slcsim -bench NN -codec tslc-opt -mag 32 -threshold 16
+//	slcsim -bench DCT -codec e2mc
+//	slcsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/compress"
+	"repro/internal/experiments"
+	"repro/internal/slc"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("slcsim: ")
+	var (
+		bench     = flag.String("bench", "", "benchmark name (see -list)")
+		codec     = flag.String("codec", "tslc-opt", "raw | bdi | fpc | cpack | e2mc | tslc-simp | tslc-pred | tslc-opt")
+		magBytes  = flag.Int("mag", 32, "memory access granularity in bytes (16, 32, 64)")
+		threshold = flag.Int("threshold", 16, "lossy threshold in bytes (TSLC only)")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		verbose   = flag.Bool("v", false, "log progress")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.Registry() {
+			in := w.Info()
+			fmt.Printf("%-6s %-28s %-16s %s, %d approx regions\n",
+				in.Name, in.Short, in.Input, in.Metric, in.AR)
+		}
+		return
+	}
+	if *bench == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	w, err := workloads.ByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := parseConfig(*codec, compress.MAG(*magBytes), *threshold*8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := experiments.NewRunner()
+	if *verbose {
+		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ..", s) }
+	}
+	res, err := r.Run(w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := r.Run(w, experiments.E2MCConfig(cfg.MAG))
+	if err != nil {
+		log.Fatal(err)
+	}
+	print(res, base)
+}
+
+func parseConfig(codec string, mag compress.MAG, thresholdBits int) (experiments.Config, error) {
+	switch strings.ToLower(codec) {
+	case "raw":
+		return experiments.BaselineConfig(experiments.KindUncompressed, mag), nil
+	case "bdi":
+		return experiments.BaselineConfig(experiments.KindBDI, mag), nil
+	case "fpc":
+		return experiments.BaselineConfig(experiments.KindFPC, mag), nil
+	case "cpack":
+		return experiments.BaselineConfig(experiments.KindCPACK, mag), nil
+	case "e2mc":
+		return experiments.E2MCConfig(mag), nil
+	case "tslc-simp":
+		return experiments.TSLCConfig(slc.SIMP, mag, thresholdBits), nil
+	case "tslc-pred":
+		return experiments.TSLCConfig(slc.PRED, mag, thresholdBits), nil
+	case "tslc-opt":
+		return experiments.TSLCConfig(slc.OPT, mag, thresholdBits), nil
+	}
+	return experiments.Config{}, fmt.Errorf("unknown codec %q", codec)
+}
+
+func print(res, base experiments.RunResult) {
+	fmt.Printf("%s × %s\n", res.Workload, res.Config.Name)
+	fmt.Printf("  compression: raw CR %.2f, effective CR %.2f, %d blocks (%d lossy, %d raw)\n",
+		res.Comp.RawRatio(), res.Comp.EffectiveRatio(),
+		res.Comp.Blocks, res.Comp.LossyBlocks, res.Comp.Uncompressed)
+	fmt.Printf("  error: %.4f%%\n", res.ErrorFrac*100)
+	fmt.Printf("  time: %.1f µs (%.0f SM cycles)\n", res.Sim.TimeNs/1e3, res.Sim.SMCycles)
+	fmt.Printf("  traffic: %d bursts, %.2f MB (row hits %d / misses %d)\n",
+		res.Sim.DramBursts, float64(res.Sim.DramBytes)/1e6, res.Sim.RowHits, res.Sim.RowMisses)
+	fmt.Printf("  L2: %d hits, %d misses, %d writebacks; MDC: %d hits, %d misses\n",
+		res.Sim.L2.Hits, res.Sim.L2.Misses, res.Sim.L2.Writebacks,
+		res.Sim.MC.MDCHits, res.Sim.MC.MDCMisses)
+	e := res.Energy
+	fmt.Printf("  energy: %.3f mJ (static %.3f, core %.3f, L2 %.3f, DRAM %.3f, codec %.5f)\n",
+		e.TotalMJ(), e.StaticMJ, e.CoreMJ, e.L2MJ, e.DramMJ, e.CodecMJ)
+	if res.Config.Name != base.Config.Name {
+		fmt.Printf("  vs %s: speedup %.3f, bandwidth %.3f, energy %.3f, EDP %.3f\n",
+			base.Config.Name,
+			base.Sim.TimeNs/res.Sim.TimeNs,
+			float64(res.Sim.DramBytes)/float64(base.Sim.DramBytes),
+			res.Energy.TotalMJ()/base.Energy.TotalMJ(),
+			res.Energy.EDP(res.Sim.TimeNs)/base.Energy.EDP(base.Sim.TimeNs))
+	}
+}

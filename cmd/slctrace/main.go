@@ -1,0 +1,92 @@
+// Command slctrace inspects the memory access trace and compressed-block
+// size distribution of one benchmark under a compression configuration —
+// the data behind the paper's Figure 2.
+//
+// Usage:
+//
+//	slctrace -bench SRAD1
+//	slctrace -bench BS -mag 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/compress"
+	"repro/internal/experiments"
+	"repro/internal/gpu/device"
+	"repro/internal/gpu/trace"
+	"repro/internal/pipeline"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("slctrace: ")
+	var (
+		bench    = flag.String("bench", "", "benchmark name")
+		magBytes = flag.Int("mag", 32, "memory access granularity in bytes")
+	)
+	flag.Parse()
+	if *bench == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	w, err := workloads.ByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mag := compress.MAG(*magBytes)
+	r := experiments.NewRunner()
+	r.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ..", s) }
+
+	// Build the E2MC pipeline and record the trace.
+	dev := device.New()
+	lossless, _, err := experiments.RunnerCodecs(r, w, experiments.E2MCConfig(mag))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pl, err := pipeline.New(dev, mag, lossless, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := trace.NewRecorder(pl.BurstsFor)
+	if _, err := w.Run(workloads.NewCtx(dev, rec, pl.Sync)); err != nil {
+		log.Fatal(err)
+	}
+
+	tr := rec.Trace()
+	fmt.Printf("%s trace (E2MC @ MAG %s)\n", w.Info().Name, mag)
+	for _, k := range tr.Kernels {
+		var acc, rd, wr, bursts int
+		for _, warp := range k.Warps {
+			acc += len(warp)
+			for _, a := range warp {
+				if a.Write {
+					wr++
+				} else {
+					rd++
+				}
+				bursts += int(a.Bursts)
+			}
+		}
+		fmt.Printf("  kernel %-22s warps %6d  accesses %8d (r %d / w %d)  bursts %9d\n",
+			k.Name, len(k.Warps), acc, rd, wr, bursts)
+	}
+	st := tr.Stats(mag)
+	fmt.Printf("total: %d kernels, %d accesses, %d bursts, %.2f MB\n",
+		st.Kernels, st.Accesses, st.Bursts, float64(st.Bytes)/1e6)
+
+	cs := pl.Stats()
+	fmt.Printf("\ncompressed-block distribution (bytes above a multiple of MAG):\n")
+	for x, cnt := range cs.AboveMAG {
+		if cnt == 0 {
+			continue
+		}
+		pct := 100 * float64(cnt) / float64(cs.Blocks)
+		fmt.Printf("  %2dB %7d blocks (%5.1f%%)\n", x, cnt, pct)
+	}
+	fmt.Printf("raw CR %.2f, effective CR %.2f\n", cs.RawRatio(), cs.EffectiveRatio())
+}

@@ -1,0 +1,40 @@
+// Codec comparison: run one benchmark's memory image through all four
+// lossless codecs of the paper's Figure 1 and compare raw vs effective
+// compression ratio at 32-byte memory access granularity.
+//
+// Run with: go run ./examples/codec_comparison [-bench TP]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/compress"
+	"repro/internal/experiments"
+	"repro/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "TP", "benchmark to analyse")
+	flag.Parse()
+
+	w, err := workloads.ByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := experiments.NewRunner()
+	fmt.Printf("%s: raw vs effective compression ratio (MAG 32B)\n\n", *bench)
+	fmt.Printf("%-8s %8s %10s %14s\n", "codec", "raw", "effective", "lost to MAG")
+	for _, c := range experiments.Fig1Codecs {
+		st, err := r.CompressionOnly(w, experiments.BaselineConfig(c.Kind, compress.MAG32))
+		if err != nil {
+			log.Fatal(err)
+		}
+		raw, eff := st.RawRatio(), st.EffectiveRatio()
+		fmt.Printf("%-8s %8.2f %10.2f %13.1f%%\n", c.Label, raw, eff, (1-eff/raw)*100)
+	}
+	fmt.Println("\nThe gap between raw and effective ratio is the paper's motivation:")
+	fmt.Println("compressed blocks a few bytes above a burst boundary still fetch the")
+	fmt.Println("whole extra 32-byte burst. SLC closes that gap selectively.")
+}

@@ -1,0 +1,90 @@
+// Quickstart: compress one 128-byte block losslessly with E2MC and
+// selectively lossily with SLC, and see why the memory access granularity
+// makes the difference.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/compress"
+	"repro/internal/compress/e2mc"
+	"repro/internal/slc"
+)
+
+func main() {
+	// 1. Train the E2MC entropy table on data with the character of a GPU
+	//    workload: tick-quantised floats with occasional full-precision
+	//    values (the online sampling phase of the real system).
+	trainer := e2mc.NewTrainer()
+	seed := uint64(42)
+	next := func() uint64 { seed ^= seed << 13; seed ^= seed >> 7; seed ^= seed << 17; return seed }
+	makeBlock := func() []byte {
+		b := make([]byte, compress.BlockSize)
+		for i := 0; i < 32; i++ {
+			v := 2 + float32(next()%512)/256
+			if next()%5 == 0 {
+				v = 2 + float32(next()%(1<<20))/float32(1<<19)
+			}
+			binary.LittleEndian.PutUint32(b[i*4:], math.Float32bits(v))
+		}
+		return b
+	}
+	for i := 0; i < 500; i++ {
+		trainer.Sample(makeBlock())
+	}
+	table, err := trainer.Build(0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Compress a block losslessly.
+	block := makeBlock()
+	lossless := e2mc.New(table)
+	enc := lossless.Compress(block)
+	mag := compress.MAG32
+	fmt.Printf("E2MC (lossless): %d bits = %d bytes → %d bursts of %s (%d bytes fetched)\n",
+		enc.Bits, enc.Bytes(), mag.Bursts(enc.Bits), mag, mag.EffectiveBytes(enc.Bits))
+	fmt.Printf("  raw ratio %.2f, effective ratio %.2f\n",
+		compress.RawRatio(enc.Bits), compress.EffectiveRatio(enc.Bits, mag))
+
+	// 3. The same block through SLC: if the lossless size is only a few
+	//    bytes above a burst boundary, SLC approximates just enough symbols
+	//    to save a whole burst.
+	codec, err := slc.New(table, slc.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := codec.Decide(block)
+	fmt.Printf("\nSLC decision: mode=%s comp=%db budget=%db extra=%db\n",
+		d.Mode, d.CompBits, d.BudgetBits, d.ExtraBits)
+	if d.Mode == slc.ModeLossy {
+		fmt.Printf("  approximating %d symbols starting at %d (tree level %d, %d bits)\n",
+			d.Node.Count, d.Node.Start, d.Node.Level, d.Node.Sum)
+	}
+	encL := codec.Compress(block)
+	fmt.Printf("SLC: %d bits → %d bursts (saved %d burst(s) vs lossless)\n",
+		encL.Bits, mag.Bursts(encL.Bits), mag.Bursts(enc.Bits)-mag.Bursts(encL.Bits))
+
+	// 4. Decompress and measure the damage.
+	out := make([]byte, compress.BlockSize)
+	if err := codec.Decompress(encL, out); err != nil {
+		log.Fatal(err)
+	}
+	var maxRel float64
+	for i := 0; i < 32; i++ {
+		a := math.Float32frombits(binary.LittleEndian.Uint32(block[i*4:]))
+		b := math.Float32frombits(binary.LittleEndian.Uint32(out[i*4:]))
+		if a != 0 {
+			rel := math.Abs(float64(b-a)) / math.Abs(float64(a))
+			if rel > maxRel {
+				maxRel = rel
+			}
+		}
+	}
+	fmt.Printf("max per-value relative error after round trip: %.4f%%\n", maxRel*100)
+}

@@ -1,0 +1,107 @@
+package compress
+
+import "fmt"
+
+// BitWriter assembles a bitstream most-significant-bit first. All codecs in
+// this repository produce real bitstreams — compressed sizes are measured on
+// the emitted bits, never estimated.
+type BitWriter struct {
+	buf  []byte
+	nbit int // number of valid bits in buf
+}
+
+// NewBitWriter returns a writer with capacity for sizeHint bits.
+func NewBitWriter(sizeHint int) *BitWriter {
+	return &BitWriter{buf: make([]byte, 0, (sizeHint+7)/8)}
+}
+
+// WriteBits appends the n least-significant bits of v, MSB first. n must be
+// in [0, 64].
+func (w *BitWriter) WriteBits(v uint64, n int) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("compress: WriteBits width %d out of range", n))
+	}
+	for i := n - 1; i >= 0; i-- {
+		bit := byte(v>>uint(i)) & 1
+		if w.nbit&7 == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		if bit != 0 {
+			w.buf[w.nbit>>3] |= 0x80 >> uint(w.nbit&7)
+		}
+		w.nbit++
+	}
+}
+
+// WriteBool appends a single bit.
+func (w *BitWriter) WriteBool(b bool) {
+	if b {
+		w.WriteBits(1, 1)
+	} else {
+		w.WriteBits(0, 1)
+	}
+}
+
+// AlignByte pads with zero bits to the next byte boundary and returns the
+// number of padding bits added.
+func (w *BitWriter) AlignByte() int {
+	pad := (8 - w.nbit&7) & 7
+	if pad > 0 {
+		w.WriteBits(0, pad)
+	}
+	return pad
+}
+
+// Len returns the number of bits written.
+func (w *BitWriter) Len() int { return w.nbit }
+
+// Bytes returns the assembled bitstream; trailing bits of the final byte are
+// zero.
+func (w *BitWriter) Bytes() []byte { return w.buf }
+
+// BitReader consumes a bitstream produced by BitWriter.
+type BitReader struct {
+	buf []byte
+	pos int // bit position
+}
+
+// NewBitReader returns a reader over buf.
+func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
+
+// ReadBits reads the next n bits MSB first. n must be in [0, 64].
+func (r *BitReader) ReadBits(n int) (uint64, error) {
+	if n < 0 || n > 64 {
+		return 0, fmt.Errorf("compress: ReadBits width %d out of range", n)
+	}
+	if r.pos+n > len(r.buf)*8 {
+		return 0, fmt.Errorf("compress: bitstream exhausted at bit %d (want %d more)", r.pos, n)
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		b := r.buf[r.pos>>3] >> uint(7-r.pos&7) & 1
+		v = v<<1 | uint64(b)
+		r.pos++
+	}
+	return v, nil
+}
+
+// ReadBool reads a single bit.
+func (r *BitReader) ReadBool() (bool, error) {
+	v, err := r.ReadBits(1)
+	return v == 1, err
+}
+
+// Pos returns the current bit position.
+func (r *BitReader) Pos() int { return r.pos }
+
+// Seek moves the read position to the absolute bit offset pos.
+func (r *BitReader) Seek(pos int) error {
+	if pos < 0 || pos > len(r.buf)*8 {
+		return fmt.Errorf("compress: seek to bit %d outside stream of %d bits", pos, len(r.buf)*8)
+	}
+	r.pos = pos
+	return nil
+}
+
+// Remaining returns the number of unread bits.
+func (r *BitReader) Remaining() int { return len(r.buf)*8 - r.pos }

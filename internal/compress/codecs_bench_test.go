@@ -1,0 +1,81 @@
+package compress_test
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/compress/bdi"
+	"repro/internal/compress/cpack"
+	"repro/internal/compress/e2mc"
+	"repro/internal/compress/fpc"
+)
+
+// benchBlocks builds a mixed corpus: tick-quantised floats, small integers,
+// pointer-like values and raw noise — the block population a GPU memory
+// controller sees.
+func benchBlocks(n int) [][]byte {
+	rng := rand.New(rand.NewSource(99))
+	blocks := make([][]byte, n)
+	for i := range blocks {
+		b := make([]byte, compress.BlockSize)
+		switch i % 4 {
+		case 0:
+			for j := 0; j < 32; j++ {
+				v := 2 + float32(rng.Intn(512))/256
+				binary.LittleEndian.PutUint32(b[j*4:], math.Float32bits(v))
+			}
+		case 1:
+			for j := 0; j < 32; j++ {
+				binary.LittleEndian.PutUint32(b[j*4:], uint32(rng.Intn(4096)))
+			}
+		case 2:
+			base := rng.Uint64()
+			for j := 0; j < 16; j++ {
+				binary.LittleEndian.PutUint64(b[j*8:], base+uint64(rng.Intn(256)))
+			}
+		case 3:
+			rng.Read(b)
+		}
+		blocks[i] = b
+	}
+	return blocks
+}
+
+func benchCodec(b *testing.B, c compress.Codec) {
+	blocks := benchBlocks(256)
+	dst := make([]byte, compress.BlockSize)
+	b.Run("Compress", func(b *testing.B) {
+		b.SetBytes(compress.BlockSize)
+		for i := 0; i < b.N; i++ {
+			c.Compress(blocks[i%len(blocks)])
+		}
+	})
+	b.Run("RoundTrip", func(b *testing.B) {
+		b.SetBytes(compress.BlockSize)
+		for i := 0; i < b.N; i++ {
+			enc := c.Compress(blocks[i%len(blocks)])
+			if err := c.Decompress(enc, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkBDI(b *testing.B)   { benchCodec(b, bdi.Codec{}) }
+func BenchmarkFPC(b *testing.B)   { benchCodec(b, fpc.Codec{}) }
+func BenchmarkCPACK(b *testing.B) { benchCodec(b, cpack.Codec{}) }
+
+func BenchmarkE2MC(b *testing.B) {
+	tr := e2mc.NewTrainer()
+	for _, blk := range benchBlocks(512) {
+		tr.Sample(blk)
+	}
+	tab, err := tr.Build(0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCodec(b, e2mc.New(tab))
+}

@@ -1,0 +1,185 @@
+package e2mc
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+)
+
+// Latency of the E2MC pipeline in memory-controller cycles (paper §IV-A):
+// 46 cycles to compress and 20 to decompress one block.
+const (
+	CompressCycles   = 46
+	DecompressCycles = 20
+)
+
+// PDWs is the number of parallel decoding ways. The block's 64 symbols are
+// split into 4 independently decodable groups of 16 so the decompressor can
+// decode 4 symbols per cycle; the paper uses 4 PDWs as E2MC's best
+// configuration.
+const PDWs = 4
+
+// SymbolsPerWay is the number of symbols each way encodes.
+const SymbolsPerWay = compress.SymbolsPerBlock / PDWs
+
+// HeaderBits is the E2MC per-block header: 3 parallel decoding pointers of 7
+// bits (2^7 = 128-byte block), padded to a whole byte so ways stay
+// byte-aligned. Uncompressed blocks carry no header.
+const HeaderBits = 24
+
+const pdpBits = 7
+
+// Codec is the E2MC compressor/decompressor around a trained Table.
+type Codec struct {
+	tab *Table
+}
+
+// New returns a codec using the given trained table.
+func New(tab *Table) *Codec { return &Codec{tab: tab} }
+
+// Table returns the codec's entropy table (SLC shares it).
+func (c *Codec) Table() *Table { return c.tab }
+
+// Name implements compress.Codec.
+func (c *Codec) Name() string { return "E2MC" }
+
+// waySpan returns the symbol index range [lo, hi) of one way.
+func waySpan(way int) (int, int) {
+	return way * SymbolsPerWay, (way + 1) * SymbolsPerWay
+}
+
+// EncodeWays entropy-codes the block's symbols into PDWs byte-aligned
+// bitstreams, omitting symbols in [skipStart, skipStart+skipLen) — the span
+// SLC truncates (skipLen 0 encodes everything). It returns the way payloads
+// and their sizes in bits before byte padding.
+func (t *Table) EncodeWays(syms [compress.SymbolsPerBlock]uint16, skipStart, skipLen int) (ways [PDWs][]byte, wayBits [PDWs]int) {
+	for wy := 0; wy < PDWs; wy++ {
+		lo, hi := waySpan(wy)
+		w := compress.NewBitWriter(SymbolsPerWay * 8)
+		for i := lo; i < hi; i++ {
+			if i >= skipStart && i < skipStart+skipLen {
+				continue
+			}
+			t.encodeSymbol(w, syms[i])
+		}
+		wayBits[wy] = w.Len()
+		w.AlignByte()
+		ways[wy] = w.Bytes()
+	}
+	return ways, wayBits
+}
+
+// DecodeWays reverses EncodeWays. wayStart holds the absolute byte offset of
+// each way within payload; symbols inside the skip span are left as zero for
+// the caller (SLC) to fill by prediction.
+func (t *Table) DecodeWays(payload []byte, wayStart [PDWs]int, skipStart, skipLen int) ([compress.SymbolsPerBlock]uint16, error) {
+	var syms [compress.SymbolsPerBlock]uint16
+	for wy := 0; wy < PDWs; wy++ {
+		if wayStart[wy] > len(payload) {
+			return syms, fmt.Errorf("e2mc: way %d starts at byte %d beyond payload (%d bytes)", wy, wayStart[wy], len(payload))
+		}
+		r := compress.NewBitReader(payload[wayStart[wy]:])
+		lo, hi := waySpan(wy)
+		for i := lo; i < hi; i++ {
+			if i >= skipStart && i < skipStart+skipLen {
+				continue
+			}
+			s, err := t.decodeSymbol(r)
+			if err != nil {
+				return syms, fmt.Errorf("e2mc: way %d symbol %d: %w", wy, i, err)
+			}
+			syms[i] = s
+		}
+	}
+	return syms, nil
+}
+
+// payloadBytes returns the byte size of the encoded ways after the header.
+func payloadBytes(wayBits [PDWs]int) int {
+	n := 0
+	for _, b := range wayBits {
+		n += (b + 7) / 8
+	}
+	return n
+}
+
+// CompressedBits implements compress.SizeOnly: header plus byte-padded ways,
+// capped at the uncompressed size. This mirrors the hardware fast path that
+// sums the per-symbol code lengths before compressing (paper §III-C).
+func (c *Codec) CompressedBits(block []byte) int {
+	syms := compress.Symbols(block)
+	var wayBits [PDWs]int
+	for wy := 0; wy < PDWs; wy++ {
+		lo, hi := waySpan(wy)
+		for i := lo; i < hi; i++ {
+			wayBits[wy] += c.tab.SymbolBits(syms[i])
+		}
+	}
+	bits := HeaderBits + payloadBytes(wayBits)*8
+	if bits >= compress.BlockBits {
+		return compress.BlockBits
+	}
+	return bits
+}
+
+// Compress implements compress.Codec. Blocks that do not compress below the
+// uncompressed size are stored raw with no header.
+func (c *Codec) Compress(block []byte) compress.Encoded {
+	if err := compress.CheckBlock(block); err != nil {
+		panic(err)
+	}
+	syms := compress.Symbols(block)
+	ways, wayBits := c.tab.EncodeWays(syms, 0, 0)
+	total := HeaderBits/8 + payloadBytes(wayBits)
+	if total*8 >= compress.BlockBits {
+		p := make([]byte, compress.BlockSize)
+		copy(p, block)
+		return compress.Encoded{Bits: compress.BlockBits, Payload: p}
+	}
+	w := compress.NewBitWriter(total * 8)
+	off := HeaderBits / 8
+	var starts [PDWs]int
+	for wy := 0; wy < PDWs; wy++ {
+		starts[wy] = off
+		off += len(ways[wy])
+	}
+	for wy := 1; wy < PDWs; wy++ {
+		w.WriteBits(uint64(starts[wy]), pdpBits)
+	}
+	w.AlignByte()
+	buf := w.Bytes()
+	for wy := 0; wy < PDWs; wy++ {
+		buf = append(buf, ways[wy]...)
+	}
+	return compress.Encoded{Bits: total * 8, Payload: buf}
+}
+
+// Decompress implements compress.Codec.
+func (c *Codec) Decompress(e compress.Encoded, dst []byte) error {
+	if len(dst) < compress.BlockSize {
+		return fmt.Errorf("e2mc: dst too small (%d bytes)", len(dst))
+	}
+	if e.Bits >= compress.BlockBits {
+		if len(e.Payload) < compress.BlockSize {
+			return fmt.Errorf("e2mc: raw payload too short")
+		}
+		copy(dst, e.Payload[:compress.BlockSize])
+		return nil
+	}
+	r := compress.NewBitReader(e.Payload)
+	var starts [PDWs]int
+	starts[0] = HeaderBits / 8
+	for wy := 1; wy < PDWs; wy++ {
+		v, err := r.ReadBits(pdpBits)
+		if err != nil {
+			return fmt.Errorf("e2mc: header: %w", err)
+		}
+		starts[wy] = int(v)
+	}
+	syms, err := c.tab.DecodeWays(e.Payload, starts, 0, 0)
+	if err != nil {
+		return err
+	}
+	compress.PutSymbols(dst, syms)
+	return nil
+}

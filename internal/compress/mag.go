@@ -1,0 +1,99 @@
+package compress
+
+import "fmt"
+
+// MAG is a memory access granularity in bytes: the amount of data one DRAM
+// read or write command moves (bus width × burst length / 8). GDDR5/5X/6 with
+// a 32-bit bus and burst length 8 has a MAG of 32 B.
+type MAG int
+
+// Standard granularities studied in the paper (§V-C).
+const (
+	MAG16 MAG = 16
+	MAG32 MAG = 32 // GDDR5 default, used throughout the paper
+	MAG64 MAG = 64
+)
+
+// Valid reports whether m is a positive power of two that divides BlockSize.
+func (m MAG) Valid() bool {
+	return m > 0 && m&(m-1) == 0 && BlockSize%int(m) == 0
+}
+
+// Bits returns the granularity in bits.
+func (m MAG) Bits() int { return int(m) * 8 }
+
+// MaxBursts returns the number of bursts in an uncompressed block.
+func (m MAG) MaxBursts() int { return BlockSize / int(m) }
+
+// Bursts returns the number of bursts needed to fetch a compressed block of
+// the given size in bits. The result is clamped to [1, MaxBursts]: a block
+// can never be fetched with less than one burst, and an incompressible block
+// needs exactly the uncompressed burst count.
+func (m MAG) Bursts(bits int) int {
+	if bits <= 0 {
+		return 1
+	}
+	n := (bits + m.Bits() - 1) / m.Bits()
+	if n < 1 {
+		n = 1
+	}
+	if max := m.MaxBursts(); n > max {
+		n = max
+	}
+	return n
+}
+
+// EffectiveBits scales a compressed size up to the bits actually transferred:
+// the nearest multiple of the granularity (paper §I).
+func (m MAG) EffectiveBits(bits int) int { return m.Bursts(bits) * m.Bits() }
+
+// EffectiveBytes is EffectiveBits in bytes.
+func (m MAG) EffectiveBytes(bits int) int { return m.Bursts(bits) * int(m) }
+
+// BytesAboveMAG returns how many bytes the compressed size lies above the
+// next-lower multiple of the granularity — the x-axis of the paper's Figure 2
+// heat map. A compressed size that is an exact multiple of MAG (or below one
+// MAG) returns 0; an uncompressed block returns int(m) by the paper's
+// convention (the "32B" bin holds uncompressed blocks).
+func (m MAG) BytesAboveMAG(bits int) int {
+	if bits >= BlockBits {
+		return int(m)
+	}
+	bytes := (bits + 7) / 8
+	if bytes <= int(m) {
+		return 0 // blocks under one MAG are folded into the 0 B origin
+	}
+	return bytes % int(m)
+}
+
+// BitBudget returns the SLC bit budget for a losslessly compressed size: the
+// greatest multiple of MAG that is ≤ compBits, clamped to [1 MAG, BlockBits]
+// (paper §III-C). Blocks under one MAG keep a 1-MAG budget; incompressible
+// blocks get the full block.
+func (m MAG) BitBudget(compBits int) int {
+	if compBits >= BlockBits {
+		return BlockBits
+	}
+	if compBits <= m.Bits() {
+		return m.Bits()
+	}
+	return (compBits / m.Bits()) * m.Bits()
+}
+
+// String implements fmt.Stringer.
+func (m MAG) String() string { return fmt.Sprintf("%dB", int(m)) }
+
+// RawRatio is the raw compression ratio of a compressed size in bits,
+// computed without considering MAG.
+func RawRatio(bits int) float64 {
+	if bits <= 0 {
+		return float64(BlockBits)
+	}
+	return float64(BlockBits) / float64(bits)
+}
+
+// EffectiveRatio is the effective compression ratio: the raw ratio after
+// scaling the compressed size up to a whole number of bursts.
+func EffectiveRatio(bits int, m MAG) float64 {
+	return float64(BlockBits) / float64(m.EffectiveBits(bits))
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/compress"
+	"repro/internal/gpu/sim"
+)
+
+// Report runs the full evaluation — every table and figure — and writes the
+// rendered results. It is what `slcbench -all` and EXPERIMENTS.md use.
+func Report(w io.Writer, r *Runner) error {
+	fmt.Fprintln(w, "SLC reproduction: all tables and figures")
+	fmt.Fprintln(w, "========================================")
+	fmt.Fprintln(w)
+
+	fmt.Fprint(w, TableII(sim.DefaultConfig()))
+	fmt.Fprintln(w)
+	fmt.Fprint(w, TableIII())
+	fmt.Fprintln(w)
+	fmt.Fprint(w, TableI())
+	fmt.Fprintln(w)
+
+	f1, err := Figure1(r, compress.MAG32)
+	if err != nil {
+		return fmt.Errorf("figure 1: %w", err)
+	}
+	fmt.Fprint(w, f1)
+	fmt.Fprintln(w)
+
+	f2, err := Figure2(r, compress.MAG32)
+	if err != nil {
+		return fmt.Errorf("figure 2: %w", err)
+	}
+	fmt.Fprint(w, f2)
+	fmt.Fprintln(w)
+
+	f7, err := Figure7(r)
+	if err != nil {
+		return fmt.Errorf("figure 7: %w", err)
+	}
+	fmt.Fprint(w, f7)
+	fmt.Fprintln(w)
+
+	f8, err := Figure8(r)
+	if err != nil {
+		return fmt.Errorf("figure 8: %w", err)
+	}
+	fmt.Fprint(w, f8)
+	fmt.Fprintln(w)
+
+	f9, err := Figure9(r)
+	if err != nil {
+		return fmt.Errorf("figure 9: %w", err)
+	}
+	fmt.Fprint(w, f9)
+	fmt.Fprintln(w)
+
+	ab, err := RunAblations(r)
+	if err != nil {
+		return fmt.Errorf("ablations: %w", err)
+	}
+	fmt.Fprint(w, ab)
+	return nil
+}

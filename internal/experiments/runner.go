@@ -1,0 +1,337 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. The Runner executes one (workload × configuration) cell of the
+// evaluation matrix — golden run, online-sampling table training, compressed
+// run with error measurement, timing simulation and energy accounting — and
+// memoises results so figures sharing runs (7, 8) do not recompute them.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/compress/bdi"
+	"repro/internal/compress/bpc"
+	"repro/internal/compress/cpack"
+	"repro/internal/compress/e2mc"
+	"repro/internal/compress/fpc"
+	"repro/internal/compress/hycomp"
+	"repro/internal/gpu/device"
+	"repro/internal/gpu/sim"
+	"repro/internal/gpu/trace"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/slc"
+	"repro/internal/workloads"
+)
+
+// Kind selects the compression technique of a configuration.
+type Kind int
+
+// The techniques of the evaluation. KindBPC extends the paper's Figure 1:
+// §II-A argues qualitatively that bit-plane compression suffers from MAG
+// like the measured baselines; including it makes the claim quantitative.
+const (
+	KindUncompressed Kind = iota
+	KindBDI
+	KindFPC
+	KindCPACK
+	KindE2MC
+	KindTSLC
+	KindBPC
+	KindHyComp
+)
+
+// Config is one compression configuration.
+type Config struct {
+	Name          string
+	Kind          Kind
+	MAG           compress.MAG
+	Variant       slc.Variant // TSLC only
+	ThresholdBits int         // TSLC only
+}
+
+// E2MCConfig returns the lossless baseline at the given MAG.
+func E2MCConfig(mag compress.MAG) Config {
+	return Config{Name: fmt.Sprintf("E2MC@%s", mag), Kind: KindE2MC, MAG: mag}
+}
+
+// TSLCConfig returns an SLC configuration.
+func TSLCConfig(v slc.Variant, mag compress.MAG, thresholdBits int) Config {
+	return Config{
+		Name:          fmt.Sprintf("%s@%s/t%dB", v, mag, thresholdBits/8),
+		Kind:          KindTSLC,
+		MAG:           mag,
+		Variant:       v,
+		ThresholdBits: thresholdBits,
+	}
+}
+
+// BaselineConfig returns one of the Figure 1 lossless codecs.
+func BaselineConfig(k Kind, mag compress.MAG) Config {
+	names := map[Kind]string{
+		KindUncompressed: "RAW", KindBDI: "BDI", KindFPC: "FPC",
+		KindCPACK: "CPACK", KindE2MC: "E2MC", KindBPC: "BPC",
+		KindHyComp: "HYCOMP",
+	}
+	return Config{Name: fmt.Sprintf("%s@%s", names[k], mag), Kind: k, MAG: mag}
+}
+
+// RunResult is everything measured for one workload × configuration.
+type RunResult struct {
+	Workload  string
+	Config    Config
+	ErrorFrac float64 // application error (fraction, not %)
+	Sim       sim.Result
+	Energy    power.Breakdown
+	Comp      pipeline.Stats
+	Trace     trace.Stats
+}
+
+// Runner executes and memoises evaluation cells.
+type Runner struct {
+	golden  map[string][]float64
+	tables  map[string]*e2mc.Table
+	results map[string]RunResult
+	// Progress, when set, receives one line per executed (non-memoised)
+	// run.
+	Progress func(string)
+}
+
+// NewRunner returns an empty runner.
+func NewRunner() *Runner {
+	return &Runner{
+		golden:  make(map[string][]float64),
+		tables:  make(map[string]*e2mc.Table),
+		results: make(map[string]RunResult),
+	}
+}
+
+func (r *Runner) progress(format string, args ...interface{}) {
+	if r.Progress != nil {
+		r.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// Golden returns the exact (uncompressed) outputs of a workload.
+func (r *Runner) Golden(w workloads.Workload) ([]float64, error) {
+	name := w.Info().Name
+	if out, ok := r.golden[name]; ok {
+		return out, nil
+	}
+	r.progress("golden run: %s", name)
+	ctx := workloads.NewCtx(device.New(), nil, nil)
+	out, err := w.Run(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("golden %s: %w", name, err)
+	}
+	r.golden[name] = out
+	return out, nil
+}
+
+// Table returns the workload's E2MC table, trained by sampling the device
+// image at every region synchronisation — the online-sampling substitute.
+func (r *Runner) Table(w workloads.Workload) (*e2mc.Table, error) {
+	name := w.Info().Name
+	if tab, ok := r.tables[name]; ok {
+		return tab, nil
+	}
+	r.progress("training table: %s", name)
+	dev := device.New()
+	trainer := e2mc.NewTrainer()
+	sync := func(reg device.Region) {
+		reg.BlockAddrs(func(addr uint64) {
+			block, err := dev.Block(addr)
+			if err != nil {
+				panic(err)
+			}
+			trainer.Sample(block)
+		})
+	}
+	if _, err := w.Run(workloads.NewCtx(dev, nil, sync)); err != nil {
+		return nil, fmt.Errorf("training %s: %w", name, err)
+	}
+	tab, err := trainer.Build(0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("building table for %s: %w", name, err)
+	}
+	r.tables[name] = tab
+	return tab, nil
+}
+
+// codecs builds the lossless and lossy codecs of a configuration.
+func (r *Runner) codecs(w workloads.Workload, cfg Config) (lossless, lossy compress.Codec, err error) {
+	switch cfg.Kind {
+	case KindUncompressed:
+		return nil, nil, nil
+	case KindBDI:
+		return bdi.Codec{}, nil, nil
+	case KindFPC:
+		return fpc.Codec{}, nil, nil
+	case KindCPACK:
+		return cpack.Codec{}, nil, nil
+	case KindBPC:
+		return bpc.Codec{}, nil, nil
+	case KindHyComp:
+		tab, err := r.Table(w)
+		if err != nil {
+			return nil, nil, err
+		}
+		return hycomp.New(tab), nil, nil
+	case KindE2MC, KindTSLC:
+		tab, err := r.Table(w)
+		if err != nil {
+			return nil, nil, err
+		}
+		lossless = e2mc.New(tab)
+		if cfg.Kind == KindTSLC {
+			lossy, err = slc.New(tab, slc.Config{
+				MAG:           cfg.MAG,
+				ThresholdBits: cfg.ThresholdBits,
+				Variant:       cfg.Variant,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		return lossless, lossy, nil
+	}
+	return nil, nil, fmt.Errorf("experiments: unknown kind %d", cfg.Kind)
+}
+
+// SimConfig derives the simulator configuration for a compression
+// configuration: the MAG sets the per-burst bytes (bus occupancy scales so
+// aggregate peak bandwidth stays at Table II's 192.4 GB/s), and the codec
+// sets the (de)compression latencies.
+func SimConfig(cfg Config) sim.Config {
+	sc := sim.DefaultConfig()
+	sc.MAG = cfg.MAG
+	sc.MC.Dram.BurstCycles = int(cfg.MAG) / 16
+	switch cfg.Kind {
+	case KindUncompressed:
+		sc.MC.CompressCycles, sc.MC.DecompressCycles = 0, 0
+	case KindBDI:
+		sc.MC.CompressCycles, sc.MC.DecompressCycles = 2, 1
+	case KindFPC:
+		sc.MC.CompressCycles, sc.MC.DecompressCycles = 8, 5
+	case KindCPACK:
+		sc.MC.CompressCycles, sc.MC.DecompressCycles = 8, 8
+	case KindBPC:
+		sc.MC.CompressCycles, sc.MC.DecompressCycles = 12, 10
+	case KindHyComp:
+		sc.MC.CompressCycles, sc.MC.DecompressCycles = e2mc.CompressCycles+4, e2mc.DecompressCycles
+	case KindE2MC:
+		sc.MC.CompressCycles, sc.MC.DecompressCycles = e2mc.CompressCycles, e2mc.DecompressCycles
+	case KindTSLC:
+		sc.MC.CompressCycles, sc.MC.DecompressCycles = slc.CompressCycles, slc.DecompressCycles
+	}
+	return sc
+}
+
+// Run executes one evaluation cell (memoised).
+func (r *Runner) Run(w workloads.Workload, cfg Config) (RunResult, error) {
+	info := w.Info()
+	key := info.Name + "|" + cfg.Name
+	if res, ok := r.results[key]; ok {
+		return res, nil
+	}
+	golden, err := r.Golden(w)
+	if err != nil {
+		return RunResult{}, err
+	}
+	lossless, lossy, err := r.codecs(w, cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	r.progress("run: %s × %s", info.Name, cfg.Name)
+
+	dev := device.New()
+	pl, err := pipeline.New(dev, cfg.MAG, lossless, lossy)
+	if err != nil {
+		return RunResult{}, err
+	}
+	rec := trace.NewRecorder(pl.BurstsFor)
+	out, err := w.Run(workloads.NewCtx(dev, rec, pl.Sync))
+	if err != nil {
+		return RunResult{}, fmt.Errorf("%s × %s: %w", info.Name, cfg.Name, err)
+	}
+	errFrac, err := metrics.Eval(info.Metric, golden, out)
+	if err != nil {
+		return RunResult{}, err
+	}
+	tr := rec.Trace()
+	simRes, err := sim.Run(tr, SimConfig(cfg))
+	if err != nil {
+		return RunResult{}, err
+	}
+	energy, err := power.Compute(simRes, power.Default())
+	if err != nil {
+		return RunResult{}, err
+	}
+	res := RunResult{
+		Workload:  info.Name,
+		Config:    cfg,
+		ErrorFrac: errFrac,
+		Sim:       simRes,
+		Energy:    energy,
+		Comp:      pl.Stats(),
+		Trace:     tr.Stats(cfg.MAG),
+	}
+	r.results[key] = res
+	return res, nil
+}
+
+// CompressionOnly runs the workload under a configuration without the timing
+// simulation — enough for Figures 1 and 2.
+func (r *Runner) CompressionOnly(w workloads.Workload, cfg Config) (pipeline.Stats, error) {
+	info := w.Info()
+	key := info.Name + "|" + cfg.Name + "|comp"
+	if res, ok := r.results[key]; ok {
+		return res.Comp, nil
+	}
+	lossless, lossy, err := r.codecs(w, cfg)
+	if err != nil {
+		return pipeline.Stats{}, err
+	}
+	r.progress("compress: %s × %s", info.Name, cfg.Name)
+	dev := device.New()
+	pl, err := pipeline.New(dev, cfg.MAG, lossless, lossy)
+	if err != nil {
+		return pipeline.Stats{}, err
+	}
+	if _, err := w.Run(workloads.NewCtx(dev, nil, pl.Sync)); err != nil {
+		return pipeline.Stats{}, fmt.Errorf("%s × %s: %w", info.Name, cfg.Name, err)
+	}
+	r.results[key] = RunResult{Workload: info.Name, Config: cfg, Comp: pl.Stats()}
+	return pl.Stats(), nil
+}
+
+// RunnerCodecs exposes the runner's codec construction (including table
+// training) to external tools such as slctrace.
+func RunnerCodecs(r *Runner, w workloads.Workload, cfg Config) (lossless, lossy compress.Codec, err error) {
+	return r.codecs(w, cfg)
+}
+
+// RerunTiming re-simulates a previously executed configuration with a
+// modified simulator configuration; used by calibration experiments and
+// ablations.
+func RerunTiming(r *Runner, w workloads.Workload, cfg Config, mod func(*sim.Config)) (sim.Result, error) {
+	lossless, lossy, err := r.codecs(w, cfg)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	dev := device.New()
+	pl, err := pipeline.New(dev, cfg.MAG, lossless, lossy)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	rec := trace.NewRecorder(pl.BurstsFor)
+	if _, err := w.Run(workloads.NewCtx(dev, rec, pl.Sync)); err != nil {
+		return sim.Result{}, err
+	}
+	sc := SimConfig(cfg)
+	if mod != nil {
+		mod(&sc)
+	}
+	return sim.Run(rec.Trace(), sc)
+}

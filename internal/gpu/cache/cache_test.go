@@ -1,0 +1,127 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{SizeBytes: 768 << 10, LineBytes: 128, Ways: 16}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := (Config{SizeBytes: 1000, LineBytes: 128, Ways: 16}).Validate(); err == nil {
+		t.Error("indivisible size accepted")
+	}
+	if err := (Config{}).Validate(); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 4096, LineBytes: 128, Ways: 2})
+	if r := c.Access(0x1000, false); r.Hit {
+		t.Error("cold access hit")
+	}
+	if r := c.Access(0x1000, false); !r.Hit {
+		t.Error("second access missed")
+	}
+	if r := c.Access(0x1040, false); !r.Hit {
+		t.Error("same-line offset missed")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way, line 128, sets = 4096/128/2 = 16. Addresses with the same set
+	// index differ by 16*128 = 2048.
+	c := mustNew(t, Config{SizeBytes: 4096, LineBytes: 128, Ways: 2})
+	a, b, d := uint64(0), uint64(2048), uint64(4096)
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a is MRU
+	c.Access(d, false) // evicts b (LRU)
+	if r := c.Access(a, false); !r.Hit {
+		t.Error("a was evicted; LRU broken")
+	}
+	if r := c.Access(b, false); r.Hit {
+		t.Error("b survived; LRU broken")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 4096, LineBytes: 128, Ways: 2})
+	a, b, d := uint64(0), uint64(2048), uint64(4096)
+	c.Access(a, true) // dirty
+	c.Access(b, false)
+	c.Access(d, false) // evicts a → writeback
+	foundWB := false
+	// a must have produced a writeback on one of the fills.
+	if s := c.Stats(); s.Writebacks == 1 {
+		foundWB = true
+	}
+	if !foundWB {
+		t.Errorf("expected exactly one writeback, stats %+v", c.Stats())
+	}
+}
+
+func TestWritebackAddrReconstruction(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 4096, LineBytes: 128, Ways: 1})
+	addr := uint64(5 * 128) // set 5
+	c.Access(addr, true)
+	conflict := addr + 4096/1 // same set, different tag (16 sets × 128 B × 1 way)
+	r := c.Access(conflict, false)
+	if !r.HasWriteback {
+		t.Fatal("conflict fill did not evict dirty line")
+	}
+	if r.WritebackAddr != addr {
+		t.Errorf("writeback addr = %#x, want %#x", r.WritebackAddr, addr)
+	}
+}
+
+func TestCleanEvictionNoWriteback(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 4096, LineBytes: 128, Ways: 1})
+	c.Access(0, false)
+	r := c.Access(4096, false) // evicts clean line
+	if r.HasWriteback {
+		t.Error("clean eviction produced writeback")
+	}
+}
+
+func TestStatsConservation(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 8192, LineBytes: 128, Ways: 4})
+	rng := rand.New(rand.NewSource(5))
+	n := 10000
+	for i := 0; i < n; i++ {
+		c.Access(uint64(rng.Intn(64*1024))&^127, rng.Intn(3) == 0)
+	}
+	s := c.Stats()
+	if s.Hits+s.Misses != n {
+		t.Errorf("hits %d + misses %d ≠ accesses %d", s.Hits, s.Misses, n)
+	}
+	if s.Writebacks > s.Misses {
+		t.Errorf("more writebacks (%d) than misses (%d)", s.Writebacks, s.Misses)
+	}
+}
+
+func TestWorkingSetFits(t *testing.T) {
+	// A working set smaller than the cache must converge to all hits.
+	c := mustNew(t, Config{SizeBytes: 64 << 10, LineBytes: 128, Ways: 8})
+	for pass := 0; pass < 3; pass++ {
+		for a := uint64(0); a < 32<<10; a += 128 {
+			c.Access(a, false)
+		}
+	}
+	s := c.Stats()
+	wantMisses := 256 // one per line on the first pass
+	if s.Misses != wantMisses {
+		t.Errorf("misses = %d, want %d (working set fits)", s.Misses, wantMisses)
+	}
+}

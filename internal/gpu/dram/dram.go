@@ -1,0 +1,344 @@
+// Package dram models one GDDR5 channel: a 32-bit data bus with burst
+// length 8 (32 bytes per burst command — the MAG), banks with open-row
+// policy, and an FR-FCFS scheduler (row hits first, oldest first, with an
+// aging cap) — the standard GPU memory-controller policy that lets streaming
+// warps saturate the data bus. Compression pays off here: a block fetched in
+// fewer bursts occupies the bus for fewer cycles, which is what raises
+// effective bandwidth on memory-bound workloads.
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/gpu/events"
+)
+
+// Config holds the channel timing parameters. Cycles are command-clock
+// cycles (1002 MHz in the paper's GTX580 configuration, Table II).
+type Config struct {
+	MemClockMHz float64
+	Banks       int
+	RowBytes    int
+	TRCD        int // activate → column command
+	TRP         int // precharge
+	TCAS        int // column access strobe (read latency)
+	TCCD        int // column-to-column command spacing (CAS pipelining)
+	BurstCycles int // data-bus cycles per burst (BL8 on DDR: 4 beats/cycle ⇒ 2)
+	// AgingNs caps FR-FCFS reordering: a request older than this is served
+	// before any younger row hit.
+	AgingNs float64
+}
+
+// DefaultConfig returns GDDR5 timings for the paper's setup: 1002 MHz
+// command clock, 16 banks, 2 KB rows, CL/tRCD/tRP of 15 cycles, 2-cycle
+// bursts.
+func DefaultConfig() Config {
+	return Config{
+		MemClockMHz: 1002,
+		Banks:       16,
+		RowBytes:    2048,
+		TRCD:        15,
+		TRP:         15,
+		TCAS:        15,
+		TCCD:        2,
+		BurstCycles: 2,
+		AgingNs:     600,
+	}
+}
+
+// CycleNs returns the command-clock period in nanoseconds.
+func (c Config) CycleNs() float64 { return 1e3 / c.MemClockMHz }
+
+// Validate checks the parameters.
+func (c Config) Validate() error {
+	if c.MemClockMHz <= 0 || c.Banks <= 0 || c.RowBytes <= 0 || c.BurstCycles <= 0 {
+		return fmt.Errorf("dram: non-positive parameter in %+v", c)
+	}
+	if c.TRCD < 0 || c.TRP < 0 || c.TCAS < 0 || c.AgingNs < 0 {
+		return fmt.Errorf("dram: negative timing in %+v", c)
+	}
+	return nil
+}
+
+// PeakBandwidthGBs returns the channel's peak data bandwidth in GB/s given
+// the MAG (bytes per burst).
+func (c Config) PeakBandwidthGBs(magBytes int) float64 {
+	return float64(magBytes) / (float64(c.BurstCycles) * c.CycleNs()) // B/ns == GB/s
+}
+
+// Stats counts channel events.
+type Stats struct {
+	Requests    int
+	Bursts      int
+	RowHits     int
+	RowMisses   int
+	Activations int
+	BusBusyNs   float64
+}
+
+type bank struct {
+	open      bool
+	row       uint64
+	casFreeNs float64 // earliest next column command (tCCD pipelining)
+	dataEndNs float64 // last data beat of the bank's in-flight transfer
+}
+
+type request struct {
+	addr    uint64
+	bursts  int
+	arrival float64
+	seq     int64
+	done    func(completionNs float64)
+	served  bool
+	bank    int
+	row     uint64
+}
+
+// Channel is one GDDR5 channel draining an FR-FCFS queue on the shared
+// event engine.
+type Channel struct {
+	cfg      Config
+	cycleNs  float64
+	q        *events.Queue
+	banks    []bank
+	busFree  float64
+	byRow    map[uint64][]*request
+	byBank   [][]*request
+	fifo     []*request
+	fifoHead int
+	seq      int64
+	draining bool
+	stats    Stats
+}
+
+// NewChannel builds a channel on the given event engine.
+func NewChannel(cfg Config, q *events.Queue) (*Channel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if q == nil {
+		return nil, fmt.Errorf("dram: nil event queue")
+	}
+	return &Channel{
+		cfg:     cfg,
+		cycleNs: cfg.CycleNs(),
+		q:       q,
+		banks:   make([]bank, cfg.Banks),
+		byRow:   make(map[uint64][]*request),
+		byBank:  make([][]*request, cfg.Banks),
+	}, nil
+}
+
+// Enqueue submits a request at the current simulation time; done (may be
+// nil for posted writes) is invoked at its completion time.
+func (ch *Channel) Enqueue(addr uint64, bursts int, done func(completionNs float64)) {
+	if bursts < 1 {
+		bursts = 1
+	}
+	ch.seq++
+	r := &request{
+		addr:    addr,
+		bursts:  bursts,
+		arrival: ch.q.Now(),
+		seq:     ch.seq,
+		done:    done,
+		bank:    int((addr / uint64(ch.cfg.RowBytes)) % uint64(ch.cfg.Banks)),
+	}
+	r.row = addr / uint64(ch.cfg.RowBytes) / uint64(ch.cfg.Banks)
+	key := ch.rowKey(r.bank, r.row)
+	ch.byRow[key] = append(ch.byRow[key], r)
+	ch.byBank[r.bank] = append(ch.byBank[r.bank], r)
+	ch.fifo = append(ch.fifo, r)
+	if !ch.draining {
+		ch.draining = true
+		ch.q.At(ch.q.Now(), ch.drain)
+	}
+}
+
+func (ch *Channel) rowKey(bank int, row uint64) uint64 {
+	return row*uint64(ch.cfg.Banks) + uint64(bank)
+}
+
+// oldest returns the oldest pending request, compacting lazily.
+func (ch *Channel) oldest() *request {
+	for ch.fifoHead < len(ch.fifo) && ch.fifo[ch.fifoHead].served {
+		ch.fifoHead++
+	}
+	if ch.fifoHead >= len(ch.fifo) {
+		ch.fifo = ch.fifo[:0]
+		ch.fifoHead = 0
+		return nil
+	}
+	if ch.fifoHead > 8192 {
+		ch.fifo = append(ch.fifo[:0], ch.fifo[ch.fifoHead:]...)
+		ch.fifoHead = 0
+	}
+	return ch.fifo[ch.fifoHead]
+}
+
+// peekRow returns the oldest pending request for a bank's open row.
+func (ch *Channel) peekRow(bankIdx int) *request {
+	b := &ch.banks[bankIdx]
+	if !b.open {
+		return nil
+	}
+	key := ch.rowKey(bankIdx, b.row)
+	lst := ch.byRow[key]
+	for len(lst) > 0 && lst[0].served {
+		lst = lst[1:]
+	}
+	if len(lst) == 0 {
+		delete(ch.byRow, key)
+		return nil
+	}
+	ch.byRow[key] = lst
+	return lst[0]
+}
+
+// peekBank returns the oldest pending request for a bank.
+func (ch *Channel) peekBank(bankIdx int) *request {
+	lst := ch.byBank[bankIdx]
+	for len(lst) > 0 && lst[0].served {
+		lst = lst[1:]
+	}
+	ch.byBank[bankIdx] = lst
+	if len(lst) == 0 {
+		return nil
+	}
+	return lst[0]
+}
+
+// estStart estimates when a request's data could start on the bus, the
+// readiness criterion the scheduler minimises.
+func (ch *Channel) estStart(r *request) float64 {
+	now := ch.q.Now()
+	b := &ch.banks[r.bank]
+	var cas float64
+	if b.open && b.row == r.row {
+		cas = now
+		if b.casFreeNs > cas {
+			cas = b.casFreeNs
+		}
+	} else {
+		actStart := now
+		if b.dataEndNs > actStart {
+			actStart = b.dataEndNs
+		}
+		pre := 0
+		if b.open {
+			pre = ch.cfg.TRP
+		}
+		cas = actStart + float64(pre+ch.cfg.TRCD)*ch.cycleNs
+	}
+	start := cas + float64(ch.cfg.TCAS)*ch.cycleNs
+	if ch.busFree > start {
+		start = ch.busFree
+	}
+	return start
+}
+
+// pick implements readiness-aware FR-FCFS: among each bank's best candidate
+// (oldest open-row hit, else oldest for the bank), choose the one whose data
+// can reach the bus soonest — row hits naturally win, and an activation on
+// an idle bank can fill a bus gap. The globally oldest request overrides
+// once it has aged out.
+func (ch *Channel) pick() *request {
+	old := ch.oldest()
+	if old == nil {
+		return nil
+	}
+	if ch.q.Now()-old.arrival > ch.cfg.AgingNs {
+		return old
+	}
+	var best *request
+	var bestStart float64
+	for b := range ch.banks {
+		cand := ch.peekRow(b)
+		if cand == nil {
+			cand = ch.peekBank(b)
+		}
+		if cand == nil {
+			continue
+		}
+		est := ch.estStart(cand)
+		if best == nil || est < bestStart || (est == bestStart && cand.seq < best.seq) {
+			best = cand
+			bestStart = est
+		}
+	}
+	if best != nil {
+		return best
+	}
+	return old
+}
+
+// drain serves one request and reschedules itself while work remains.
+func (ch *Channel) drain() {
+	r := ch.pick()
+	if r == nil {
+		ch.draining = false
+		return
+	}
+	r.served = true
+	now := ch.q.Now()
+	b := &ch.banks[r.bank]
+
+	var cas float64
+	if b.open && b.row == r.row {
+		cas = now
+		if b.casFreeNs > cas {
+			cas = b.casFreeNs
+		}
+		ch.stats.RowHits++
+	} else {
+		actStart := now
+		if b.dataEndNs > actStart { // drain in-flight data before precharge
+			actStart = b.dataEndNs
+		}
+		pre := 0
+		if b.open {
+			pre = ch.cfg.TRP
+		}
+		cas = actStart + float64(pre+ch.cfg.TRCD)*ch.cycleNs
+		ch.stats.RowMisses++
+		ch.stats.Activations++
+	}
+	dataReady := cas + float64(ch.cfg.TCAS)*ch.cycleNs
+	busStart := dataReady
+	if ch.busFree > busStart {
+		busStart = ch.busFree
+	}
+	busTime := float64(r.bursts*ch.cfg.BurstCycles) * ch.cycleNs
+	busEnd := busStart + busTime
+
+	ch.busFree = busEnd
+	effCas := busStart - float64(ch.cfg.TCAS)*ch.cycleNs
+	if effCas < cas {
+		effCas = cas
+	}
+	b.casFreeNs = effCas + float64(ch.cfg.TCCD)*ch.cycleNs
+	b.dataEndNs = busEnd
+	b.open = true
+	b.row = r.row
+
+	ch.stats.Requests++
+	ch.stats.Bursts += r.bursts
+	ch.stats.BusBusyNs += busTime
+	if r.done != nil {
+		done := r.done
+		ch.q.At(busEnd, func() { done(busEnd) })
+	}
+	// Pace the command stream a bounded lookahead ahead of the data bus:
+	// the next command may issue tCCD after this one, but no earlier than
+	// one bank-preparation time before the bus frees — keeping scheduling
+	// decisions fresh while letting activations overlap data transfer.
+	prepNs := float64(ch.cfg.TRP+ch.cfg.TRCD+ch.cfg.TCAS) * ch.cycleNs
+	next := now + float64(ch.cfg.TCCD)*ch.cycleNs
+	if t := busEnd - prepNs; t > next {
+		next = t
+	}
+	ch.q.At(next, ch.drain)
+}
+
+// Stats returns the channel's counters.
+func (ch *Channel) Stats() Stats { return ch.stats }

@@ -1,0 +1,62 @@
+// Package events is the deterministic discrete-event engine shared by the
+// timing simulator and the memory system: a time-ordered queue with
+// insertion-order tie-breaking, so identical inputs replay identically.
+package events
+
+import "container/heap"
+
+type event struct {
+	t   float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Queue is a discrete-event queue. The zero value is ready to use.
+type Queue struct {
+	h   eventHeap
+	now float64
+	seq int64
+}
+
+// Now returns the current simulation time in nanoseconds.
+func (q *Queue) Now() float64 { return q.now }
+
+// At schedules fn at time t; times before Now are clamped to Now.
+func (q *Queue) At(t float64, fn func()) {
+	if t < q.now {
+		t = q.now
+	}
+	q.seq++
+	heap.Push(&q.h, &event{t: t, seq: q.seq, fn: fn})
+}
+
+// Run drains the queue, advancing Now event by event.
+func (q *Queue) Run() {
+	for q.h.Len() > 0 {
+		e := heap.Pop(&q.h).(*event)
+		q.now = e.t
+		e.fn()
+	}
+}
+
+// Pending returns the number of scheduled events.
+func (q *Queue) Pending() int { return q.h.Len() }

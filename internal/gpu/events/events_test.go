@@ -1,0 +1,65 @@
+package events
+
+import "testing"
+
+func TestOrdering(t *testing.T) {
+	var q Queue
+	var got []int
+	q.At(3, func() { got = append(got, 3) })
+	q.At(1, func() { got = append(got, 1) })
+	q.At(2, func() { got = append(got, 2) })
+	q.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v", got)
+	}
+	if q.Now() != 3 {
+		t.Errorf("Now = %v", q.Now())
+	}
+}
+
+func TestTieBreakInsertionOrder(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.At(5, func() { got = append(got, i) })
+	}
+	q.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order broken at %d: %v", i, got)
+		}
+	}
+}
+
+func TestPastTimesClamp(t *testing.T) {
+	var q Queue
+	var when float64 = -1
+	q.At(10, func() {
+		q.At(5, func() { when = q.Now() }) // in the past → clamps to now
+	})
+	q.Run()
+	if when != 10 {
+		t.Errorf("past event ran at %v, want 10", when)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var q Queue
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < 100 {
+			q.At(q.Now()+1, step)
+		}
+	}
+	q.At(0, step)
+	q.Run()
+	if n != 100 || q.Now() != 99 {
+		t.Errorf("n=%d now=%v", n, q.Now())
+	}
+	if q.Pending() != 0 {
+		t.Errorf("pending = %d", q.Pending())
+	}
+}

@@ -1,0 +1,260 @@
+// Package mc models the memory controllers of the SLC system (paper Figure
+// 3): each controller integrates the compressor, decompressor and a metadata
+// cache (MDC) holding the 2-bit burst count per block, so that only the
+// required bursts are fetched for a compressed block. The GTX580
+// configuration has 6 controllers, each driving two 32-bit GDDR5 channels
+// (384-bit aggregate bus, 192.4 GB/s).
+package mc
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/gpu/dram"
+	"repro/internal/gpu/events"
+)
+
+// Config describes the memory-controller subsystem.
+type Config struct {
+	Controllers   int // 6 on GTX580
+	ChannelsPerMC int // 2 × 32-bit per 64-bit controller
+	Dram          dram.Config
+	// InterleaveBytes is the address-interleaving granularity across
+	// channels.
+	InterleaveBytes int
+	// MDCLines is the number of metadata lines each controller caches; one
+	// 32-byte line holds the 2-bit burst codes of 128 blocks (16 KB of
+	// data). A miss costs one extra burst fetch. MDCWays sets the
+	// associativity.
+	MDCLines int
+	MDCWays  int
+	// DecompressCycles is added to every compressed read response and
+	// CompressCycles to every compressed write (memory clock cycles).
+	DecompressCycles int
+	CompressCycles   int
+}
+
+// DefaultConfig returns the paper's configuration with E2MC latencies.
+func DefaultConfig() Config {
+	return Config{
+		Controllers:      6,
+		ChannelsPerMC:    2,
+		Dram:             dram.DefaultConfig(),
+		InterleaveBytes:  256,
+		MDCLines:         4096, // 16 KB of metadata per MC, covering 64 MB
+		MDCWays:          8,
+		DecompressCycles: 20,
+		CompressCycles:   46,
+	}
+}
+
+// Validate checks the parameters.
+func (c Config) Validate() error {
+	if c.Controllers <= 0 || c.ChannelsPerMC <= 0 || c.InterleaveBytes <= 0 {
+		return fmt.Errorf("mc: non-positive parameter in %+v", c)
+	}
+	return c.Dram.Validate()
+}
+
+// Stats counts controller events.
+type Stats struct {
+	Reads        int
+	Writes       int
+	MDCHits      int
+	MDCMisses    int
+	MetaBursts   int // extra bursts spent fetching metadata
+	Decompresses int
+	Compresses   int
+}
+
+// metaLine covers the 2-bit entries of 128 consecutive blocks.
+const blocksPerMetaLine = 128
+
+// mdcCache is a small set-associative LRU metadata cache per controller.
+type mdcCache struct {
+	ways  int
+	sets  [][]mdcEntry
+	clock uint64
+}
+
+type mdcEntry struct {
+	tag   uint64
+	valid bool
+	used  uint64
+}
+
+func newMDC(lines, ways int) *mdcCache {
+	if ways < 1 {
+		ways = 1
+	}
+	nsets := lines / ways
+	if nsets < 1 {
+		nsets = 1
+	}
+	sets := make([][]mdcEntry, nsets)
+	for i := range sets {
+		sets[i] = make([]mdcEntry, ways)
+	}
+	return &mdcCache{ways: ways, sets: sets}
+}
+
+// lookup returns true on hit and installs the line on miss.
+func (m *mdcCache) lookup(metaLine uint64) bool {
+	m.clock++
+	set := m.sets[metaLine%uint64(len(m.sets))]
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == metaLine {
+			set[i].used = m.clock
+			return true
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	set[victim] = mdcEntry{tag: metaLine, valid: true, used: m.clock}
+	return false
+}
+
+// System is the full memory-controller subsystem. All requests flow through
+// the shared event engine; completions arrive via callbacks.
+type System struct {
+	cfg      Config
+	q        *events.Queue
+	channels []*dram.Channel
+	mdcs     []*mdcCache
+	cycleNs  float64
+	stats    Stats
+	// metaBase is a fictitious address range for metadata fetches, placed
+	// beyond the data space so metadata rows do not alias data rows.
+	metaBase uint64
+}
+
+// New builds the subsystem on the given event engine.
+func New(cfg Config, q *events.Queue) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if q == nil {
+		return nil, fmt.Errorf("mc: nil event queue")
+	}
+	n := cfg.Controllers * cfg.ChannelsPerMC
+	s := &System{
+		cfg:      cfg,
+		q:        q,
+		channels: make([]*dram.Channel, n),
+		mdcs:     make([]*mdcCache, cfg.Controllers),
+		cycleNs:  cfg.Dram.CycleNs(),
+		metaBase: 1 << 40,
+	}
+	for i := range s.channels {
+		ch, err := dram.NewChannel(cfg.Dram, q)
+		if err != nil {
+			return nil, err
+		}
+		s.channels[i] = ch
+	}
+	for i := range s.mdcs {
+		s.mdcs[i] = newMDC(cfg.MDCLines, cfg.MDCWays)
+	}
+	return s, nil
+}
+
+// Channels returns the number of channels.
+func (s *System) Channels() int { return len(s.channels) }
+
+// route maps an address to its channel and controller.
+func (s *System) route(addr uint64) (ch, ctrl int) {
+	ch = int((addr / uint64(s.cfg.InterleaveBytes)) % uint64(len(s.channels)))
+	return ch, ch / s.cfg.ChannelsPerMC
+}
+
+// localAddr converts a global address into the channel's own address space:
+// the channel stores every len(channels)-th interleave chunk contiguously,
+// so its 2 KB rows hold 2 KB of its own data. Without this translation a
+// streaming access pattern would never reuse an open row.
+func (s *System) localAddr(addr uint64) uint64 {
+	il := uint64(s.cfg.InterleaveBytes)
+	n := uint64(len(s.channels))
+	return (addr/il/n)*il + addr%il
+}
+
+// withMetadata runs fn after the metadata lookup for a compressed access; on
+// an MDC miss the metadata line is fetched from the controller's channel
+// first.
+func (s *System) withMetadata(addr uint64, ch, ctrl int, fn func()) {
+	metaLine := addr / (blocksPerMetaLine * compress.BlockSize)
+	if s.mdcs[ctrl].lookup(metaLine) {
+		s.stats.MDCHits++
+		fn()
+		return
+	}
+	s.stats.MDCMisses++
+	s.stats.MetaBursts++
+	s.channels[ch].Enqueue(s.metaBase+metaLine*32, 1, func(float64) { fn() })
+}
+
+// Read requests a block read; done is invoked at the completion time.
+// Compressed reads pay the MDC probe and decompression latency.
+func (s *System) Read(addr uint64, bursts int, compressed bool, done func(completionNs float64)) {
+	s.stats.Reads++
+	ch, ctrl := s.route(addr)
+	issue := func() {
+		s.channels[ch].Enqueue(s.localAddr(addr), bursts, func(t float64) {
+			if compressed {
+				s.stats.Decompresses++
+				t += float64(s.cfg.DecompressCycles) * s.cycleNs
+			}
+			done(t)
+		})
+	}
+	if compressed {
+		s.withMetadata(addr, ch, ctrl, issue)
+		return
+	}
+	issue()
+}
+
+// Write posts a block writeback; compression latency is paid before the bus
+// transfer. Writes are posted: no completion callback.
+func (s *System) Write(addr uint64, bursts int, compressed bool) {
+	s.stats.Writes++
+	ch, ctrl := s.route(addr)
+	issue := func() {
+		s.channels[ch].Enqueue(s.localAddr(addr), bursts, nil)
+	}
+	if compressed {
+		s.stats.Compresses++
+		lat := float64(s.cfg.CompressCycles) * s.cycleNs
+		s.withMetadata(addr, ch, ctrl, func() {
+			s.q.At(s.q.Now()+lat, issue)
+		})
+		return
+	}
+	issue()
+}
+
+// Stats returns controller counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// DramStats aggregates all channels.
+func (s *System) DramStats() dram.Stats {
+	var agg dram.Stats
+	for _, ch := range s.channels {
+		st := ch.Stats()
+		agg.Requests += st.Requests
+		agg.Bursts += st.Bursts
+		agg.RowHits += st.RowHits
+		agg.RowMisses += st.RowMisses
+		agg.Activations += st.Activations
+		agg.BusBusyNs += st.BusBusyNs
+	}
+	return agg
+}
+
+// PeakBandwidthGBs returns the aggregate peak bandwidth.
+func (s *System) PeakBandwidthGBs(magBytes int) float64 {
+	return float64(len(s.channels)) * s.cfg.Dram.PeakBandwidthGBs(magBytes)
+}

@@ -1,0 +1,157 @@
+package mc
+
+import (
+	"testing"
+
+	"repro/internal/gpu/events"
+)
+
+func newSys(t *testing.T) (*System, *events.Queue) {
+	t.Helper()
+	q := &events.Queue{}
+	s, err := New(DefaultConfig(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, q
+}
+
+// readAt runs a single read to completion and returns its completion time.
+func readAt(s *System, q *events.Queue, addr uint64, bursts int, compressed bool) float64 {
+	var done float64
+	s.Read(addr, bursts, compressed, func(t float64) { done = t })
+	q.Run()
+	return done
+}
+
+func TestChannelCount(t *testing.T) {
+	s, _ := newSys(t)
+	if s.Channels() != 12 {
+		t.Errorf("channels = %d, want 12 (6 MCs × 2)", s.Channels())
+	}
+}
+
+func TestRouteInterleaving(t *testing.T) {
+	s, _ := newSys(t)
+	ch0, _ := s.route(0)
+	ch1, _ := s.route(256)
+	ch2, _ := s.route(512)
+	if ch0 == ch1 || ch1 == ch2 {
+		t.Errorf("adjacent 256B chunks map to same channel: %d %d %d", ch0, ch1, ch2)
+	}
+	chA, _ := s.route(300)
+	chB, _ := s.route(400)
+	if chA != chB {
+		t.Errorf("same chunk split across channels %d and %d", chA, chB)
+	}
+}
+
+func TestLocalAddrRowLocality(t *testing.T) {
+	s, _ := newSys(t)
+	// Consecutive chunks on one channel (3072 B apart globally) must be
+	// adjacent in the channel's local space.
+	l0 := s.localAddr(0)
+	l1 := s.localAddr(3072)
+	if l1-l0 != 256 {
+		t.Errorf("local stride = %d, want 256", l1-l0)
+	}
+}
+
+func TestCompressedReadPaysDecompression(t *testing.T) {
+	sPlain, qPlain := newSys(t)
+	sComp, qComp := newSys(t)
+	tPlain := readAt(sPlain, qPlain, 4096, 4, false)
+	tComp := readAt(sComp, qComp, 4096, 4, true)
+	if tComp <= tPlain {
+		t.Errorf("compressed read (%v) not slower than raw (%v) despite MDC+decompression", tComp, tPlain)
+	}
+}
+
+func TestFewerBurstsFinishSooner(t *testing.T) {
+	// Open-loop streams to one channel: 1-burst traffic drains faster.
+	s1, q1 := newSys(t)
+	s4, q4 := newSys(t)
+	var t1, t4 float64
+	for i := 0; i < 200; i++ {
+		s1.Read(0, 1, true, func(tt float64) { t1 = tt })
+		s4.Read(0, 4, true, func(tt float64) { t4 = tt })
+	}
+	q1.Run()
+	q4.Run()
+	if t1 >= t4 {
+		t.Errorf("1-burst stream (%v) not faster than 4-burst stream (%v)", t1, t4)
+	}
+}
+
+func TestMDCMissFetchesMetadata(t *testing.T) {
+	s, q := newSys(t)
+	readAt(s, q, 0, 4, true)
+	st := s.Stats()
+	if st.MDCMisses != 1 || st.MetaBursts != 1 {
+		t.Errorf("first compressed read: stats %+v, want 1 MDC miss + 1 meta burst", st)
+	}
+	// A second read in the same 16 KB metadata window AND on the same
+	// controller hits. Channel interleaving is 256 B across 12 channels, so
+	// addr 3072 returns to channel 0.
+	readAt(s, q, 3072, 4, true)
+	st = s.Stats()
+	if st.MDCHits != 1 {
+		t.Errorf("second read should hit MDC: %+v", st)
+	}
+}
+
+func TestUncompressedSkipsMDC(t *testing.T) {
+	s, q := newSys(t)
+	readAt(s, q, 0, 4, false)
+	s.Write(4096, 4, false)
+	q.Run()
+	st := s.Stats()
+	if st.MDCHits+st.MDCMisses != 0 {
+		t.Errorf("raw accesses probed the MDC: %+v", st)
+	}
+	if st.Decompresses+st.Compresses != 0 {
+		t.Errorf("raw accesses used the codec: %+v", st)
+	}
+}
+
+func TestWriteCountsCompression(t *testing.T) {
+	s, q := newSys(t)
+	s.Write(0, 2, true)
+	q.Run()
+	if st := s.Stats(); st.Compresses != 1 {
+		t.Errorf("compressed write not counted: %+v", st)
+	}
+}
+
+func TestDramStatsAggregation(t *testing.T) {
+	s, q := newSys(t)
+	totalBursts := 0
+	for i := 0; i < 100; i++ {
+		b := i%4 + 1
+		totalBursts += b
+		s.Read(uint64(i)*256, b, false, func(float64) {})
+	}
+	q.Run()
+	ds := s.DramStats()
+	if ds.Bursts != totalBursts {
+		t.Errorf("aggregated bursts %d ≠ issued %d", ds.Bursts, totalBursts)
+	}
+}
+
+func TestPeakBandwidth(t *testing.T) {
+	s, _ := newSys(t)
+	if got := s.PeakBandwidthGBs(32); got < 190 || got > 195 {
+		t.Errorf("peak bandwidth = %.1f GB/s, want ≈192.4", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Controllers = 0
+	if _, err := New(bad, &events.Queue{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := New(DefaultConfig(), nil); err == nil {
+		t.Error("nil queue accepted")
+	}
+}

@@ -1,0 +1,346 @@
+// Package sim is the trace-driven GPU timing simulator that substitutes for
+// gpgpu-sim in this reproduction. It replays per-warp memory access traces
+// through an event-driven model of the GTX580-class configuration of the
+// paper's Table II: 16 SMs whose warps hide memory latency, a shared
+// write-back L2, and 6 memory controllers driving 12 × 32-bit GDDR5
+// channels (FR-FCFS scheduled) with compression integrated in the
+// controllers.
+//
+// The model captures what the paper's effect depends on — burst traffic
+// versus channel bandwidth, latency hiding limits, and (de)compression
+// latencies — while abstracting intra-SM pipelines into per-access issue
+// gaps carried by the trace.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/gpu/cache"
+	"repro/internal/gpu/events"
+	"repro/internal/gpu/mc"
+	"repro/internal/gpu/trace"
+)
+
+// Config is the simulator configuration (paper Table II).
+type Config struct {
+	SMs           int
+	SMClockMHz    float64
+	MaxWarpsPerSM int // 1536 threads / 32
+	// MAG is the memory access granularity: bytes moved per DRAM burst.
+	MAG compress.MAG
+	// L1 is the per-SM cache (Table II: 16 KB/SM). It caches global loads
+	// and is write-through: stores invalidate and go to the L2.
+	L1 cache.Config
+	// L1HitCycles is the SM-cycle latency of an L1 hit.
+	L1HitCycles int
+	L2          cache.Config
+	// L2HitCycles is the SM-cycle round trip for an L2 hit.
+	L2HitCycles int
+	// MemPathCycles is the one-way SM-cycle cost between L2 and the memory
+	// controllers (interconnect + queuing), paid on each side of a miss.
+	MemPathCycles int
+	// WarpMLP is the per-warp memory-level parallelism: how many loads a
+	// warp keeps in flight before stalling (scoreboarded stall-on-use).
+	WarpMLP int
+	MC      mc.Config
+
+	// Display-only fields of Table II (not modelled directly: the L1 is
+	// absorbed into trace generation, registers and shared memory do not
+	// affect a trace replay).
+	L1PerSMKB      int
+	MaxCTASize     int
+	RegistersPerSM int
+	SharedMemKB    int
+}
+
+// DefaultConfig returns the paper's baseline simulator configuration.
+func DefaultConfig() Config {
+	return Config{
+		SMs:           16,
+		SMClockMHz:    822,
+		MaxWarpsPerSM: 48,
+		MAG:           compress.MAG32,
+		L1:            cache.Config{SizeBytes: 16 << 10, LineBytes: 128, Ways: 4},
+		L1HitCycles:   30,
+		L2:            cache.Config{SizeBytes: 768 << 10, LineBytes: 128, Ways: 16},
+		L2HitCycles:   120,
+		MemPathCycles: 60,
+		WarpMLP:       8,
+		MC:            mc.DefaultConfig(),
+
+		L1PerSMKB:      16,
+		MaxCTASize:     512,
+		RegistersPerSM: 32 << 10,
+		SharedMemKB:    48,
+	}
+}
+
+// Result summarises one simulation.
+type Result struct {
+	TimeNs       float64
+	SMCycles     float64
+	Accesses     int
+	Instructions int64
+	L1           cache.Stats
+	L2           cache.Stats
+	MC           mc.Stats
+	DramBursts   int
+	DramBytes    int
+	RowHits      int
+	RowMisses    int
+	Activations  int
+	BusBusyNs    float64
+	Warps        int
+}
+
+type blockXfer struct {
+	bursts     int
+	compressed bool
+}
+
+type warpState struct {
+	accs        []trace.Access
+	idx         int
+	sm          int
+	outstanding int
+	stalled     bool
+	done        bool
+}
+
+type smState struct {
+	issueFreeNs float64
+	pending     []*warpState
+	resident    int
+}
+
+type simulator struct {
+	cfg       Config
+	smCycleNs float64
+	q         *events.Queue
+	l1s       []*cache.Cache
+	l2        *cache.Cache
+	mem       *mc.System
+	sms       []smState
+	lastWrite map[uint64]blockXfer
+	remaining int
+	endNs     float64
+	res       Result
+}
+
+// Run replays a trace and returns timing and event counts.
+func Run(tr *trace.Trace, cfg Config) (Result, error) {
+	if cfg.SMs <= 0 || cfg.SMClockMHz <= 0 || cfg.MaxWarpsPerSM <= 0 || cfg.WarpMLP <= 0 {
+		return Result{}, fmt.Errorf("sim: bad SM configuration %+v", cfg)
+	}
+	if !cfg.MAG.Valid() {
+		return Result{}, fmt.Errorf("sim: invalid MAG %d", cfg.MAG)
+	}
+	l2, err := cache.New(cfg.L2)
+	if err != nil {
+		return Result{}, err
+	}
+	q := &events.Queue{}
+	mem, err := mc.New(cfg.MC, q)
+	if err != nil {
+		return Result{}, err
+	}
+	s := &simulator{
+		cfg:       cfg,
+		smCycleNs: 1e3 / cfg.SMClockMHz,
+		q:         q,
+		l2:        l2,
+		mem:       mem,
+		sms:       make([]smState, cfg.SMs),
+		lastWrite: make(map[uint64]blockXfer),
+	}
+	if cfg.L1.SizeBytes > 0 {
+		s.l1s = make([]*cache.Cache, cfg.SMs)
+		for i := range s.l1s {
+			if s.l1s[i], err = cache.New(cfg.L1); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	for _, k := range tr.Kernels {
+		s.runKernel(&k)
+	}
+	s.res.TimeNs = s.endNs
+	s.res.SMCycles = s.endNs / s.smCycleNs
+	for _, l1 := range s.l1s {
+		st := l1.Stats()
+		s.res.L1.Hits += st.Hits
+		s.res.L1.Misses += st.Misses
+	}
+	s.res.L2 = s.l2.Stats()
+	s.res.MC = s.mem.Stats()
+	ds := s.mem.DramStats()
+	s.res.DramBursts = ds.Bursts
+	s.res.DramBytes = ds.Bursts * int(cfg.MAG)
+	s.res.RowHits = ds.RowHits
+	s.res.RowMisses = ds.RowMisses
+	s.res.Activations = ds.Activations
+	s.res.BusBusyNs = ds.BusBusyNs
+	return s.res, nil
+}
+
+func (s *simulator) runKernel(k *trace.Kernel) {
+	start := s.endNs
+	// L1s are flushed at kernel boundaries, as on real GPUs.
+	if s.l1s != nil {
+		for i := range s.l1s {
+			old := s.l1s[i].Stats()
+			s.res.L1.Hits += old.Hits
+			s.res.L1.Misses += old.Misses
+			fresh, err := cache.New(s.cfg.L1)
+			if err != nil {
+				panic(err)
+			}
+			s.l1s[i] = fresh
+		}
+	}
+	warps := make([]*warpState, 0, len(k.Warps))
+	for i, accs := range k.Warps {
+		if len(accs) == 0 {
+			continue
+		}
+		warps = append(warps, &warpState{accs: accs, sm: i % s.cfg.SMs})
+	}
+	s.remaining = len(warps)
+	s.res.Warps += len(warps)
+	if s.remaining == 0 {
+		return
+	}
+	for i := range s.sms {
+		s.sms[i].pending = s.sms[i].pending[:0]
+		s.sms[i].resident = 0
+		if s.sms[i].issueFreeNs < start {
+			s.sms[i].issueFreeNs = start
+		}
+	}
+	for _, w := range warps {
+		smv := &s.sms[w.sm]
+		if smv.resident < s.cfg.MaxWarpsPerSM {
+			smv.resident++
+			w := w
+			s.q.At(start, func() { s.tryIssueNext(w, s.q.Now()) })
+		} else {
+			smv.pending = append(smv.pending, w)
+		}
+	}
+	s.q.Run()
+	if s.q.Now() > s.endNs {
+		s.endNs = s.q.Now()
+	}
+	if s.remaining != 0 {
+		panic(fmt.Sprintf("sim: kernel %s drained with %d warps unfinished", k.Name, s.remaining))
+	}
+}
+
+// tryIssueNext advances a warp: it issues the next access's compute segment
+// unless the warp's load window is full or its stream is exhausted.
+func (s *simulator) tryIssueNext(w *warpState, t float64) {
+	if w.idx >= len(w.accs) {
+		s.maybeFinish(w, t)
+		return
+	}
+	if w.outstanding >= s.cfg.WarpMLP {
+		w.stalled = true
+		return
+	}
+	a := w.accs[w.idx]
+	w.idx++
+	smv := &s.sms[w.sm]
+	startIssue := t
+	if smv.issueFreeNs > startIssue {
+		startIssue = smv.issueFreeNs
+	}
+	// The compute gap consumes issue bandwidth: 1 instruction per SM cycle
+	// aggregated across the SM's warps.
+	endIssue := startIssue + float64(a.Compute)*s.smCycleNs
+	smv.issueFreeNs = endIssue
+	s.res.Instructions += int64(a.Compute)
+	s.q.At(endIssue, func() { s.issueAccess(w, a) })
+}
+
+// issueAccess performs the L1/L2/DRAM path of one access. Reads join the
+// warp's load window (stall-on-use with WarpMLP outstanding loads); writes
+// are posted and write through the L1.
+func (s *simulator) issueAccess(w *warpState, a trace.Access) {
+	now := s.q.Now()
+	s.res.Accesses++
+	if s.l1s != nil {
+		l1 := s.l1s[w.sm]
+		if a.Write {
+			l1.Invalidate(a.Addr)
+		} else if r := l1.Access(a.Addr, false); r.Hit {
+			w.outstanding++
+			hitNs := float64(s.cfg.L1HitCycles) * s.smCycleNs
+			s.q.At(now+hitNs, func() { s.respond(w) })
+			s.q.At(now, func() { s.tryIssueNext(w, s.q.Now()) })
+			return
+		}
+	}
+	res := s.l2.Access(a.Addr, a.Write)
+	pathNs := float64(s.cfg.MemPathCycles) * s.smCycleNs
+	if res.HasWriteback {
+		wb, ok := s.lastWrite[res.WritebackAddr]
+		if !ok {
+			wb = blockXfer{bursts: s.cfg.MAG.MaxBursts(), compressed: false}
+		}
+		addr := res.WritebackAddr
+		s.q.At(now+pathNs, func() { s.mem.Write(addr, wb.bursts, wb.compressed) })
+	}
+	if a.Write {
+		// Record the block's compressed geometry for its eventual
+		// writeback; stores are posted, the warp does not wait.
+		s.lastWrite[a.Addr] = blockXfer{bursts: int(a.Bursts), compressed: a.Compressed}
+		s.q.At(now, func() { s.tryIssueNext(w, s.q.Now()) })
+		return
+	}
+	w.outstanding++
+	hitNs := float64(s.cfg.L2HitCycles) * s.smCycleNs
+	if res.Hit {
+		s.q.At(now+hitNs, func() { s.respond(w) })
+	} else {
+		s.q.At(now+pathNs, func() {
+			s.mem.Read(a.Addr, int(a.Bursts), a.Compressed, func(done float64) {
+				s.q.At(done+pathNs, func() { s.respond(w) })
+			})
+		})
+	}
+	// Independent next instructions keep issuing behind the load.
+	s.q.At(now, func() { s.tryIssueNext(w, s.q.Now()) })
+}
+
+// respond retires one outstanding load and unblocks the warp.
+func (s *simulator) respond(w *warpState) {
+	w.outstanding--
+	if w.stalled {
+		w.stalled = false
+		s.tryIssueNext(w, s.q.Now())
+		return
+	}
+	s.maybeFinish(w, s.q.Now())
+}
+
+// maybeFinish retires the warp once its stream and load window are drained.
+func (s *simulator) maybeFinish(w *warpState, t float64) {
+	if w.done || w.idx < len(w.accs) || w.outstanding > 0 {
+		return
+	}
+	w.done = true
+	s.finishWarp(w, t)
+}
+
+func (s *simulator) finishWarp(w *warpState, t float64) {
+	smv := &s.sms[w.sm]
+	smv.resident--
+	if len(smv.pending) > 0 {
+		next := smv.pending[0]
+		smv.pending = smv.pending[1:]
+		smv.resident++
+		s.tryIssueNext(next, t)
+	}
+	s.remaining--
+}

@@ -1,0 +1,99 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestModelOrderOfMagnitude(t *testing.T) {
+	m := Model()
+	// The paper's Table I: compressor 1.43 GHz / 0.0083 mm² / 1.62 mW.
+	// The analytical model must land in the same order of magnitude.
+	if m.Comp.AreaMM2 < 0.002 || m.Comp.AreaMM2 > 0.03 {
+		t.Errorf("compressor area %.5f mm² outside [0.002, 0.03]", m.Comp.AreaMM2)
+	}
+	if m.Comp.FreqGHz < 0.7 || m.Comp.FreqGHz > 3.0 {
+		t.Errorf("compressor frequency %.2f GHz outside [0.7, 3.0]", m.Comp.FreqGHz)
+	}
+	if m.Comp.PowerMW < 0.3 || m.Comp.PowerMW > 8 {
+		t.Errorf("compressor power %.3f mW outside [0.3, 8]", m.Comp.PowerMW)
+	}
+	// Decompressor is tiny: ≤ a tenth of the compressor in area.
+	if m.Decomp.AreaMM2 > m.Comp.AreaMM2/5 {
+		t.Errorf("decompressor area %.5f not ≪ compressor %.5f", m.Decomp.AreaMM2, m.Comp.AreaMM2)
+	}
+}
+
+func TestOverheadNegligible(t *testing.T) {
+	m := Model()
+	// Paper: 0.0015% area, 0.0008% power of GTX580. Ours must stay below
+	// a hundredth of a percent too.
+	if m.AreaPct > 0.01 {
+		t.Errorf("area overhead %.5f%% not negligible", m.AreaPct)
+	}
+	if m.PowerPct > 0.01 {
+		t.Errorf("power overhead %.5f%% not negligible", m.PowerPct)
+	}
+}
+
+func TestGateInventoryPositive(t *testing.T) {
+	m := Model()
+	for _, u := range []Unit{m.Comp, m.Decomp} {
+		if u.Gates() <= 0 {
+			t.Errorf("%s has no gates", u.Name)
+		}
+		for _, b := range u.Blocks {
+			if b.Gates <= 0 {
+				t.Errorf("%s block %q has %d gates", u.Name, b.Name, b.Gates)
+			}
+		}
+	}
+}
+
+func TestAdderTreeDominates(t *testing.T) {
+	// The Figure 5 structure is adder-dominated; the tree must be the
+	// largest single block.
+	m := Model()
+	var tree, max int
+	for _, b := range m.Comp.Blocks {
+		if strings.HasPrefix(b.Name, "adder tree") {
+			tree = b.Gates
+		}
+		if b.Gates > max {
+			max = b.Gates
+		}
+	}
+	if tree != max {
+		t.Errorf("adder tree (%d gates) is not the largest block (max %d)", tree, max)
+	}
+}
+
+func TestStringMentionsPaperNumbers(t *testing.T) {
+	s := Model().String()
+	for _, want := range []string{"1.43", "0.00830", "1.620", "Compressor", "Decompressor"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table I rendering missing %q", want)
+		}
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	for _, tt := range []struct{ in, want int }{{1, 1}, {3, 2}, {31, 5}, {32, 6}, {63, 6}} {
+		if got := bitsFor(tt.in); got != tt.want {
+			t.Errorf("bitsFor(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestTSLCIsSmallFractionOfE2MC(t *testing.T) {
+	m := Model()
+	// Paper §III-H: TSLC adds only 5.6% of E2MC's area. Our coarse model
+	// must land in the same small-fraction regime (single-digit percent,
+	// give or take).
+	if m.TSLCOfE2MCPct <= 0 || m.TSLCOfE2MCPct > 15 {
+		t.Errorf("TSLC/E2MC area = %.1f%%, want a small fraction (paper 5.6%%)", m.TSLCOfE2MCPct)
+	}
+	if e := E2MCCompressorAreaMM2(Tech32nm()); e < 0.05 || e > 0.5 {
+		t.Errorf("E2MC compressor area %.4f mm² implausible (paper implies ≈0.148)", e)
+	}
+}

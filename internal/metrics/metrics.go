@@ -1,0 +1,120 @@
+// Package metrics implements the application-specific error metrics of the
+// paper's Table III: mean relative error (MRE) for numeric outputs,
+// normalised root-mean-square error (NRMSE) for signal/image outputs, image
+// diff (NRMSE over pixels), and miss rate for boolean outputs.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metric identifies an error metric.
+type Metric int
+
+const (
+	// MRE is the mean relative error |approx−exact| / |exact|.
+	MRE Metric = iota
+	// NRMSE is RMS error normalised by the exact output's value range.
+	NRMSE
+	// ImageDiff is NRMSE over pixel intensities (the paper's "Image diff.").
+	ImageDiff
+	// MissRate is the fraction of boolean decisions that flipped.
+	MissRate
+)
+
+// String implements fmt.Stringer using the paper's labels.
+func (m Metric) String() string {
+	switch m {
+	case MRE:
+		return "MRE"
+	case NRMSE:
+		return "NRMSE"
+	case ImageDiff:
+		return "Image diff."
+	case MissRate:
+		return "Miss rate"
+	}
+	return fmt.Sprintf("Metric(%d)", int(m))
+}
+
+// relEps guards the relative error of near-zero exact outputs, the standard
+// practice in approximate-computing evaluations.
+const relEps = 1e-6
+
+// Eval computes the metric over paired outputs and returns the error as a
+// fraction (multiply by 100 for the paper's percentages).
+func Eval(m Metric, exact, approx []float64) (float64, error) {
+	if len(exact) != len(approx) {
+		return 0, fmt.Errorf("metrics: length mismatch %d vs %d", len(exact), len(approx))
+	}
+	if len(exact) == 0 {
+		return 0, fmt.Errorf("metrics: empty outputs")
+	}
+	switch m {
+	case MRE:
+		return mre(exact, approx), nil
+	case NRMSE, ImageDiff:
+		return nrmse(exact, approx), nil
+	case MissRate:
+		return missRate(exact, approx), nil
+	}
+	return 0, fmt.Errorf("metrics: unknown metric %d", m)
+}
+
+// Per-element errors are capped at full scale (100% relative error; one
+// value range for RMS terms), the AxBench convention: an approximate output
+// that comes back NaN, infinite or wildly out of range counts as a
+// completely wrong element rather than poisoning the aggregate.
+
+func mre(exact, approx []float64) float64 {
+	sum := 0.0
+	for i := range exact {
+		den := math.Abs(exact[i])
+		if den < relEps {
+			den = relEps
+		}
+		rel := math.Abs(approx[i]-exact[i]) / den
+		if math.IsNaN(rel) || rel > 1 {
+			rel = 1
+		}
+		sum += rel
+	}
+	return sum / float64(len(exact))
+}
+
+func nrmse(exact, approx []float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range exact {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	rng := hi - lo
+	if rng < relEps {
+		rng = relEps
+	}
+	mse := 0.0
+	for i := range exact {
+		d := approx[i] - exact[i]
+		if math.IsNaN(d) || math.Abs(d) > rng {
+			d = rng // full-scale error
+		}
+		mse += d * d
+	}
+	mse /= float64(len(exact))
+	return math.Sqrt(mse) / rng
+}
+
+func missRate(exact, approx []float64) float64 {
+	miss := 0
+	for i := range exact {
+		if (exact[i] != 0) != (approx[i] != 0) {
+			miss++
+		}
+	}
+	return float64(miss) / float64(len(exact))
+}

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIdenticalOutputsZeroError(t *testing.T) {
+	x := []float64{1, 2, 3, -4, 0.5}
+	for _, m := range []Metric{MRE, NRMSE, ImageDiff, MissRate} {
+		got, err := Eval(m, x, x)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if got != 0 {
+			t.Errorf("%v on identical outputs = %v", m, got)
+		}
+	}
+}
+
+func TestMRE(t *testing.T) {
+	exact := []float64{10, 20}
+	approx := []float64{11, 18} // rel errors 0.1 and 0.1
+	got, _ := Eval(MRE, exact, approx)
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("MRE = %v, want 0.1", got)
+	}
+}
+
+func TestMREZeroGuard(t *testing.T) {
+	got, _ := Eval(MRE, []float64{0}, []float64{1e-7})
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("MRE with zero exact = %v", got)
+	}
+}
+
+func TestNRMSE(t *testing.T) {
+	exact := []float64{0, 10}            // range 10
+	approx := []float64{1, 9}            // errors ±1, RMS = 1
+	got, _ := Eval(NRMSE, exact, approx) // 1/10
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("NRMSE = %v, want 0.1", got)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	exact := []float64{1, 0, 1, 0}
+	approx := []float64{1, 1, 0, 0} // two flips
+	got, _ := Eval(MissRate, exact, approx)
+	if got != 0.5 {
+		t.Errorf("miss rate = %v, want 0.5", got)
+	}
+}
+
+func TestEvalValidation(t *testing.T) {
+	if _, err := Eval(MRE, []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Eval(MRE, nil, nil); err == nil {
+		t.Error("empty outputs accepted")
+	}
+	if _, err := Eval(Metric(99), []float64{1}, []float64{1}); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if MRE.String() != "MRE" || MissRate.String() != "Miss rate" {
+		t.Error("metric labels wrong")
+	}
+	if ImageDiff.String() != "Image diff." || NRMSE.String() != "NRMSE" {
+		t.Error("metric labels wrong")
+	}
+}

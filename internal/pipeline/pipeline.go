@@ -1,0 +1,166 @@
+// Package pipeline couples the device memory image to a compression
+// configuration. Whenever a region is synchronised (after the host copy-in
+// and after each kernel's stores), every block is pushed through the active
+// codec: the block's burst count is recorded for the timing trace, and —
+// when the SLC decision is lossy — the approximated bytes are written back
+// into device memory, so later reads, later iterations and later
+// recompressions observe them (the feedback loop of paper §V-A).
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/gpu/device"
+)
+
+// BlockInfo is the stored geometry of one block.
+type BlockInfo struct {
+	Bursts     uint8
+	Compressed bool
+}
+
+// Stats accumulates per-compression statistics over all Sync calls; the
+// distributions feed Figures 1 and 2.
+type Stats struct {
+	Blocks       int64 // block compressions performed
+	LossyBlocks  int64
+	Uncompressed int64 // blocks stored raw
+	RawBits      int64 // Σ compressed bits, no MAG (raw ratio basis)
+	EffBits      int64 // Σ burst-aligned bits (effective ratio basis)
+	AboveMAG     []int64
+}
+
+// RawRatio returns the raw compression ratio over all compressions.
+func (s Stats) RawRatio() float64 {
+	if s.RawBits == 0 {
+		return 1
+	}
+	return float64(s.Blocks*compress.BlockBits) / float64(s.RawBits)
+}
+
+// EffectiveRatio returns the effective (MAG-aligned) compression ratio.
+func (s Stats) EffectiveRatio() float64 {
+	if s.EffBits == 0 {
+		return 1
+	}
+	return float64(s.Blocks*compress.BlockBits) / float64(s.EffBits)
+}
+
+// Pipeline is one compression configuration bound to a device.
+type Pipeline struct {
+	dev *device.Device
+	mag compress.MAG
+	// lossless serves exact regions; lossy (if set) serves
+	// safe-to-approximate regions. Either may be nil: nil lossless means no
+	// compression at all.
+	lossless compress.Codec
+	lossy    compress.Codec
+	// lossyFactory, when installed, builds per-threshold codecs so each
+	// region's own lossy threshold (the extended cudaMalloc argument,
+	// paper §IV-C) is honoured.
+	lossyFactory func(thresholdBits int) (compress.Codec, error)
+	perThreshold map[int]compress.Codec
+	blocks       map[uint64]BlockInfo
+	stats        Stats
+	scratch      []byte
+}
+
+// New builds a pipeline. lossless may be nil (uncompressed baseline); lossy
+// may be nil (lossless everywhere, the E2MC baseline).
+func New(dev *device.Device, mag compress.MAG, lossless, lossy compress.Codec) (*Pipeline, error) {
+	if !mag.Valid() {
+		return nil, fmt.Errorf("pipeline: invalid MAG %d", mag)
+	}
+	return &Pipeline{
+		dev:      dev,
+		mag:      mag,
+		lossless: lossless,
+		lossy:    lossy,
+		blocks:   make(map[uint64]BlockInfo),
+		stats:    Stats{AboveMAG: make([]int64, int(mag)+1)},
+		scratch:  make([]byte, compress.BlockSize),
+	}, nil
+}
+
+// SetLossyFactory installs per-threshold codec construction. With a factory
+// installed, a safe-to-approximate region whose ThresholdBytes is non-zero
+// gets a lossy codec honouring that threshold instead of the default one.
+func (p *Pipeline) SetLossyFactory(factory func(thresholdBits int) (compress.Codec, error)) {
+	p.lossyFactory = factory
+	p.perThreshold = make(map[int]compress.Codec)
+}
+
+// lossyFor returns the lossy codec for one region.
+func (p *Pipeline) lossyFor(r device.Region) compress.Codec {
+	if p.lossyFactory == nil || r.ThresholdBytes <= 0 {
+		return p.lossy
+	}
+	bits := r.ThresholdBytes * 8
+	if c, ok := p.perThreshold[bits]; ok {
+		return c
+	}
+	c, err := p.lossyFactory(bits)
+	if err != nil {
+		panic(fmt.Sprintf("pipeline: lossy codec for threshold %dB: %v", r.ThresholdBytes, err))
+	}
+	p.perThreshold[bits] = c
+	return c
+}
+
+// Sync pushes every block of the region through the codec, updating burst
+// bookkeeping and applying lossy mutations to device memory.
+func (p *Pipeline) Sync(r device.Region) {
+	codec := p.lossless
+	if r.SafeToApprox && p.lossy != nil {
+		codec = p.lossyFor(r)
+	}
+	if codec == nil {
+		// Uncompressed baseline: full bursts, nothing stored.
+		r.BlockAddrs(func(addr uint64) {
+			p.blocks[addr] = BlockInfo{Bursts: uint8(p.mag.MaxBursts())}
+		})
+		return
+	}
+	r.BlockAddrs(func(addr uint64) {
+		block, err := p.dev.Block(addr)
+		if err != nil {
+			panic(fmt.Sprintf("pipeline: sync %s: %v", r.Name, err))
+		}
+		enc := codec.Compress(block)
+		if enc.Lossy {
+			if err := codec.Decompress(enc, p.scratch); err != nil {
+				panic(fmt.Sprintf("pipeline: lossy round trip %s@%#x: %v", r.Name, addr, err))
+			}
+			copy(block, p.scratch)
+			p.stats.LossyBlocks++
+		}
+		info := BlockInfo{
+			Bursts:     uint8(p.mag.Bursts(enc.Bits)),
+			Compressed: enc.Bits < compress.BlockBits,
+		}
+		p.blocks[addr] = info
+		p.stats.Blocks++
+		if !info.Compressed {
+			p.stats.Uncompressed++
+		}
+		p.stats.RawBits += int64(enc.Bits)
+		p.stats.EffBits += int64(p.mag.EffectiveBits(enc.Bits))
+		p.stats.AboveMAG[p.mag.BytesAboveMAG(enc.Bits)]++
+	})
+}
+
+// BurstsFor implements the trace recorder's lookup: burst count and
+// compressed flag for a block, defaulting to a raw block when never synced.
+func (p *Pipeline) BurstsFor(addr uint64) (int, bool) {
+	if info, ok := p.blocks[addr]; ok {
+		return int(info.Bursts), info.Compressed
+	}
+	return p.mag.MaxBursts(), false
+}
+
+// Stats returns the accumulated statistics.
+func (p *Pipeline) Stats() Stats { return p.stats }
+
+// MAG returns the pipeline's granularity.
+func (p *Pipeline) MAG() compress.MAG { return p.mag }

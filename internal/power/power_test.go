@@ -1,0 +1,83 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/gpu/cache"
+	"repro/internal/gpu/mc"
+	"repro/internal/gpu/sim"
+)
+
+func sampleResult() sim.Result {
+	return sim.Result{
+		TimeNs:       1_300_000, // 1.3 ms
+		Instructions: 4_000_000,
+		DramBursts:   2_000_000,
+		Activations:  300_000,
+		L2:           cache.Stats{Hits: 400_000, Misses: 600_000},
+		MC:           mc.Stats{Compresses: 100_000, Decompresses: 500_000},
+	}
+}
+
+func TestComponentsPositive(t *testing.T) {
+	b, err := Compute(sampleResult(), Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"static": b.StaticMJ, "core": b.CoreMJ, "l2": b.L2MJ,
+		"dram": b.DramMJ, "codec": b.CodecMJ,
+	} {
+		if v < 0 {
+			t.Errorf("%s energy negative: %v", name, v)
+		}
+	}
+	if b.TotalMJ() <= 0 {
+		t.Error("total energy not positive")
+	}
+}
+
+func TestCalibratedShares(t *testing.T) {
+	// The Figure 8b normalisations depend on the component shares: static
+	// around half, DRAM around a third for a memory-bound kernel.
+	b, _ := Compute(sampleResult(), Default())
+	tot := b.TotalMJ()
+	static := b.StaticMJ / tot
+	dram := b.DramMJ / tot
+	if static < 0.35 || static > 0.65 {
+		t.Errorf("static share %.2f outside [0.35, 0.65]", static)
+	}
+	if dram < 0.2 || dram > 0.45 {
+		t.Errorf("dram share %.2f outside [0.2, 0.45]", dram)
+	}
+	if b.CodecMJ > 0.001*tot {
+		t.Errorf("codec energy share %.5f not negligible", b.CodecMJ/tot)
+	}
+}
+
+func TestEnergyScalesWithTraffic(t *testing.T) {
+	r1 := sampleResult()
+	r2 := sampleResult()
+	r2.DramBursts = r1.DramBursts * 86 / 100 // −14% traffic
+	r2.TimeNs = r1.TimeNs * 91 / 100         // −9% time
+	b1, _ := Compute(r1, Default())
+	b2, _ := Compute(r2, Default())
+	red := 1 - b2.TotalMJ()/b1.TotalMJ()
+	// Paper Figure 8b: ≈8.3% energy reduction for this traffic/time delta.
+	if red < 0.04 || red > 0.14 {
+		t.Errorf("energy reduction %.3f outside [0.04, 0.14]", red)
+	}
+	edpRed := 1 - b2.EDP(r2.TimeNs)/b1.EDP(r1.TimeNs)
+	// EDP reduction ≈ 17.5% in the paper.
+	if edpRed < 0.10 || edpRed > 0.25 {
+		t.Errorf("EDP reduction %.3f outside [0.10, 0.25]", edpRed)
+	}
+}
+
+func TestNegativeTimeRejected(t *testing.T) {
+	r := sampleResult()
+	r.TimeNs = -1
+	if _, err := Compute(r, Default()); err == nil {
+		t.Error("negative time accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package slc_test
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/compress/e2mc"
+	"repro/internal/slc"
+)
+
+// Example demonstrates the SLC decision on a block whose lossless size sits
+// a few bytes above a burst boundary — the case the paper's technique
+// converts into a saved burst.
+func Example() {
+	// Train the entropy table on a deterministic corpus: 16-bit symbols
+	// drawn from a small alphabet with an occasional outlier.
+	trainer := e2mc.NewTrainer()
+	block := make([]byte, compress.BlockSize)
+	seed := uint32(1)
+	fill := func(b []byte, outliers int) {
+		seed = 1
+		for i := 0; i < compress.SymbolsPerBlock; i++ {
+			seed = seed*1664525 + 1013904223
+			sym := uint16(seed % 37)
+			if i < outliers {
+				sym = uint16(seed >> 13) // rare symbol → escape coded
+			}
+			binary.LittleEndian.PutUint16(b[i*2:], sym)
+		}
+	}
+	for t := 0; t < 200; t++ {
+		fill(block, 3)
+		trainer.Sample(block)
+	}
+	table, err := trainer.Build(0, 0)
+	if err != nil {
+		panic(err)
+	}
+
+	codec, err := slc.New(table, slc.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	// Sweep the outlier count until a block lands a few bits above a burst
+	// boundary — the regime SLC converts into a saved burst.
+	for outliers := 0; outliers <= 32; outliers++ {
+		fill(block, outliers)
+		if codec.Decide(block).Mode == slc.ModeLossy {
+			break
+		}
+	}
+	d := codec.Decide(block)
+	enc := codec.Compress(block)
+	fmt.Printf("mode: %s\n", d.Mode)
+	fmt.Printf("lossless would need %d bursts; stored needs %d\n",
+		compress.MAG32.Bursts(d.CompBits), compress.MAG32.Bursts(enc.Bits))
+	// Output:
+	// mode: lossy
+	// lossless would need 3 bursts; stored needs 2
+}

@@ -1,0 +1,125 @@
+package slc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/compress"
+)
+
+// These tests pin the compressed-block header layout of Figure 6: 1-bit mode
+// m, 6-bit start symbol ss, 4-bit length len (count−1), and three 7-bit
+// parallel decoding pointers — 32 bits, followed by byte-aligned ways.
+
+func readHeader(t *testing.T, payload []byte) (m bool, ss, length int, pdp [3]int) {
+	t.Helper()
+	r := compress.NewBitReader(payload)
+	mv, err := r.ReadBits(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssv, err := r.ReadBits(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := r.ReadBits(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pdp {
+		v, err := r.ReadBits(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pdp[i] = int(v)
+	}
+	return mv == 1, int(ssv), int(lv), pdp
+}
+
+func TestHeaderLayoutLossless(t *testing.T) {
+	tab := testTable(t)
+	c := newCodec(t, tab, OPT)
+	rng := rand.New(rand.NewSource(60))
+	for i := 0; i < 2000; i++ {
+		block := floatBlock(rng)
+		d := c.Decide(block)
+		if d.Mode != ModeLossless {
+			continue
+		}
+		enc := c.Compress(block)
+		m, ss, l, pdp := readHeader(t, enc.Payload)
+		if m {
+			t.Fatal("lossless block has m=1")
+		}
+		if ss != 0 || l != 0 {
+			t.Fatalf("lossless header carries ss=%d len=%d", ss, l)
+		}
+		// Pointers must be increasing byte offsets within the block.
+		prev := HeaderBits / 8
+		for _, p := range pdp {
+			if p < prev || p >= compress.BlockSize {
+				t.Fatalf("pdp %v not monotone within block", pdp)
+			}
+			prev = p
+		}
+		return
+	}
+	t.Fatal("no lossless block found")
+}
+
+func TestHeaderLayoutLossy(t *testing.T) {
+	tab := testTable(t)
+	c := newCodec(t, tab, OPT)
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 4000; i++ {
+		block := floatBlock(rng)
+		d := c.Decide(block)
+		if d.Mode != ModeLossy {
+			continue
+		}
+		enc := c.Compress(block)
+		m, ss, l, _ := readHeader(t, enc.Payload)
+		if !m {
+			t.Fatal("lossy block has m=0")
+		}
+		if ss != d.Node.Start {
+			t.Fatalf("header ss=%d, decision start=%d", ss, d.Node.Start)
+		}
+		if l+1 != d.Node.Count {
+			t.Fatalf("header len=%d (count %d), decision count=%d", l, l+1, d.Node.Count)
+		}
+		return
+	}
+	t.Fatal("no lossy block found")
+}
+
+func TestHeaderIs32Bits(t *testing.T) {
+	if HeaderBits != 32 {
+		t.Fatalf("HeaderBits = %d; Figure 6 specifies 1+6+4+3×7 = 32", HeaderBits)
+	}
+	if got := 1 + ssBits + lenBits + 3*pdpBits; got != 32 {
+		t.Fatalf("field widths sum to %d", got)
+	}
+}
+
+func TestMaxApproxFitsLenField(t *testing.T) {
+	// The 4-bit len field encodes count−1, so at most 16 symbols.
+	if MaxApproxSymbols != 1<<lenBits {
+		t.Fatalf("MaxApproxSymbols %d ≠ 2^len bits %d", MaxApproxSymbols, 1<<lenBits)
+	}
+}
+
+func TestDecompressGarbagePayloadNoPanic(t *testing.T) {
+	tab := testTable(t)
+	c := newCodec(t, tab, OPT)
+	rng := rand.New(rand.NewSource(62))
+	dst := make([]byte, compress.BlockSize)
+	for i := 0; i < 300; i++ {
+		n := rng.Intn(64) + 4
+		payload := make([]byte, n)
+		rng.Read(payload)
+		enc := compress.Encoded{Bits: n * 8, Payload: payload}
+		// Must return an error or garbage — never panic.
+		_ = c.Decompress(enc, dst)
+	}
+}

@@ -1,0 +1,117 @@
+package slc
+
+// The TSLC selection tree (paper Figure 5). A parallel adder tree sums the 64
+// per-symbol code lengths pairwise; the root is the block's payload size.
+// When the lossy mode is selected, every intermediate sum is compared against
+// the extra bits in parallel; per level a priority encoder picks the first
+// sub-block whose sum covers the extra bits, and the lowest level with a hit
+// wins, because that level approximates the fewest symbols.
+
+import "repro/internal/compress"
+
+// Node is one adder-tree node: an aligned span of symbols and the summed
+// code length of that span.
+type Node struct {
+	Start int // first symbol index
+	Count int // number of symbols covered
+	Sum   int // total code length in bits
+	Level int // tree level (0 = individual code lengths)
+}
+
+// Tree is the TSLC adder tree over one block's symbol costs.
+type Tree struct {
+	levels [][]int // levels[l][i] = sum of symbols [i·2^l, (i+1)·2^l)
+	extra  []Node  // TSLC-OPT intermediate nodes
+}
+
+// Number of tree levels for 64 symbols: level 0 (leaves) .. level 6 (root).
+const treeLevels = 7
+
+// NewTree builds the adder tree from per-symbol costs. With opt, the
+// TSLC-OPT extra nodes are added: the paper adds 8 nodes at the 16-node
+// level and 4 at the 8-node level to break the 2× jumps between sums
+// (§III-F); we realise them as intermediate spans of 6 and 12 symbols.
+func NewTree(costs *[compress.SymbolsPerBlock]int, opt bool) *Tree {
+	t := &Tree{levels: make([][]int, treeLevels)}
+	leaf := make([]int, compress.SymbolsPerBlock)
+	copy(leaf, costs[:])
+	t.levels[0] = leaf
+	for l := 1; l < treeLevels; l++ {
+		prev := t.levels[l-1]
+		cur := make([]int, len(prev)/2)
+		for i := range cur {
+			cur[i] = prev[2*i] + prev[2*i+1]
+		}
+		t.levels[l] = cur
+	}
+	if opt {
+		// 8 extra 6-symbol nodes between the 4- and 8-symbol levels
+		// (one per pair of adjacent 4-symbol nodes)...
+		for i := 0; i < 8; i++ {
+			start := i * 8
+			t.extra = append(t.extra, Node{
+				Start: start,
+				Count: 6,
+				Sum:   t.levels[2][2*i] + t.levels[1][4*i+2],
+				Level: 2,
+			})
+		}
+		// ...and 4 extra 12-symbol nodes between the 8- and 16-symbol levels.
+		for i := 0; i < 4; i++ {
+			start := i * 16
+			t.extra = append(t.extra, Node{
+				Start: start,
+				Count: 12,
+				Sum:   t.levels[3][2*i] + t.levels[2][4*i+2],
+				Level: 3,
+			})
+		}
+	}
+	return t
+}
+
+// PayloadBits returns the root sum: the total payload size the hardware uses
+// as comp size (before header and way padding).
+func (t *Tree) PayloadBits() int { return t.levels[treeLevels-1][0] }
+
+// Select returns the sub-block to approximate: among all nodes with
+// Sum ≥ need and Count ≤ maxSyms, the one covering the fewest symbols
+// (lowest level), breaking ties on the lowest start index — the behaviour of
+// the per-level priority encoders plus the lowest-level mux of Figure 5.
+// ok is false when no node qualifies.
+func (t *Tree) Select(need, maxSyms int) (Node, bool) {
+	best := Node{Count: 1 << 30}
+	found := false
+	consider := func(n Node) {
+		if n.Sum < need || n.Count > maxSyms {
+			return
+		}
+		if !found || n.Count < best.Count || (n.Count == best.Count && n.Start < best.Start) {
+			best = n
+			found = true
+		}
+	}
+	for l := 0; l < treeLevels; l++ {
+		count := 1 << uint(l)
+		if count > maxSyms {
+			break
+		}
+		for i, sum := range t.levels[l] {
+			if sum >= need {
+				// Priority encoder: only the first hit per level matters.
+				consider(Node{Start: i * count, Count: count, Sum: sum, Level: l})
+				break
+			}
+		}
+	}
+	for _, n := range t.extra {
+		consider(n)
+	}
+	return best, found
+}
+
+// NodeSums exposes the sums of one level for tests and the hardware model.
+func (t *Tree) NodeSums(level int) []int { return t.levels[level] }
+
+// ExtraNodes exposes the TSLC-OPT nodes for tests and the hardware model.
+func (t *Tree) ExtraNodes() []Node { return t.extra }

@@ -1,0 +1,95 @@
+// Package stats provides the small numeric and rendering helpers the
+// experiment harnesses share: geometric means (the paper's GM columns),
+// histogram bucketing and a text heat map for Figure 2.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Geomean returns the geometric mean of positive values; zero or negative
+// inputs are clamped to a tiny epsilon, matching how the paper's GM columns
+// handle near-zero errors.
+func Geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v < 1e-12 {
+			v = 1e-12
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}
+
+// Heatmap is a 2-D sample counter: x = bytes above MAG, y = percentage bin.
+type Heatmap struct {
+	XMax  int // inclusive upper x value
+	YBins int // number of percentage bins covering [0, 100]
+	cells [][]int
+}
+
+// NewHeatmap builds an empty heat map.
+func NewHeatmap(xMax, yBins int) *Heatmap {
+	cells := make([][]int, yBins)
+	for i := range cells {
+		cells[i] = make([]int, xMax+1)
+	}
+	return &Heatmap{XMax: xMax, YBins: yBins, cells: cells}
+}
+
+// Add records one sample: a benchmark whose percentage of blocks at x bytes
+// above MAG is pct.
+func (h *Heatmap) Add(x int, pct float64) {
+	if x < 0 || x > h.XMax {
+		return
+	}
+	bin := int(pct / 100 * float64(h.YBins))
+	if bin >= h.YBins {
+		bin = h.YBins - 1
+	}
+	if bin < 0 {
+		bin = 0
+	}
+	h.cells[bin][x]++
+}
+
+// Render draws the heat map as text, highest percentage bin on top.
+func (h *Heatmap) Render() string {
+	var b strings.Builder
+	binWidth := 100 / h.YBins
+	for y := h.YBins - 1; y >= 0; y-- {
+		fmt.Fprintf(&b, "%3d-%3d%% |", y*binWidth, (y+1)*binWidth)
+		for x := 0; x <= h.XMax; x++ {
+			switch c := h.cells[y][x]; {
+			case c == 0:
+				b.WriteString(" .")
+			case c < 10:
+				fmt.Fprintf(&b, " %d", c)
+			default:
+				b.WriteString(" #")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("          ")
+	for x := 0; x <= h.XMax; x++ {
+		if x%4 == 0 {
+			fmt.Fprintf(&b, "%2d", x)
+		} else {
+			b.WriteString("  ")
+		}
+	}
+	b.WriteString("  (bytes above a multiple of MAG)\n")
+	return b.String()
+}
+
+// Cell returns the sample count at (x, yBin), for tests.
+func (h *Heatmap) Cell(x, yBin int) int { return h.cells[yBin][x] }
+
+// Pct formats a fraction as a percentage string.
+func Pct(frac float64) string { return fmt.Sprintf("%.2f%%", frac*100) }

@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Geomean(2,8) = %v, want 4", got)
+	}
+	if got := Geomean([]float64{1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Geomean(1,1,1) = %v", got)
+	}
+	if got := Geomean(nil); got != 0 {
+		t.Errorf("Geomean(nil) = %v, want 0", got)
+	}
+	// Zero entries are clamped, not fatal.
+	if got := Geomean([]float64{0, 4}); math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("Geomean with zero = %v", got)
+	}
+}
+
+func TestGeomeanOrderInvariant(t *testing.T) {
+	a := Geomean([]float64{1.2, 3.4, 0.9, 2.2})
+	b := Geomean([]float64{2.2, 0.9, 3.4, 1.2})
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("geomean depends on order: %v vs %v", a, b)
+	}
+}
+
+func TestHeatmapAddAndCell(t *testing.T) {
+	h := NewHeatmap(32, 20)
+	h.Add(4, 22) // 22% → bin 4 with 20 bins of 5%
+	h.Add(4, 23)
+	h.Add(0, 99.9) // top bin
+	h.Add(0, 100)  // clamps into top bin
+	if got := h.Cell(4, 4); got != 2 {
+		t.Errorf("cell(4,4) = %d, want 2", got)
+	}
+	if got := h.Cell(0, 19); got != 2 {
+		t.Errorf("cell(0,19) = %d, want 2", got)
+	}
+}
+
+func TestHeatmapIgnoresOutOfRange(t *testing.T) {
+	h := NewHeatmap(32, 20)
+	h.Add(-1, 10)
+	h.Add(33, 10)
+	for x := 0; x <= 32; x++ {
+		for y := 0; y < 20; y++ {
+			if h.Cell(x, y) != 0 {
+				t.Fatalf("out-of-range Add landed at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestHeatmapRender(t *testing.T) {
+	h := NewHeatmap(32, 10)
+	h.Add(4, 15)
+	s := h.Render()
+	if !strings.Contains(s, "bytes above a multiple of MAG") {
+		t.Error("render missing axis label")
+	}
+	if strings.Count(s, "\n") < 11 {
+		t.Errorf("render has too few rows:\n%s", s)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.1234); got != "12.34%" {
+		t.Errorf("Pct = %q", got)
+	}
+}

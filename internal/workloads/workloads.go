@@ -1,0 +1,89 @@
+// Package workloads implements the paper's benchmark suite (Table III):
+// nine memory-bound, approximation-amenable GPU kernels. Each workload
+// executes functionally on the device memory image — so lossy compression
+// perturbs real data and real outputs — and emits the per-warp coalesced
+// access trace the timing simulator replays.
+//
+// Inputs are synthesised deterministically with the data character of the
+// original benchmarks (smooth images, quantised market data, clustered
+// coordinates). Sizes are scaled from the paper where needed to keep
+// runtimes in seconds; compression operates per 128-byte block and is
+// insensitive to total footprint.
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/gpu/device"
+	"repro/internal/gpu/trace"
+	"repro/internal/metrics"
+)
+
+// Info is the Table III row for a workload.
+type Info struct {
+	Name   string
+	Short  string // short description, as in Table III
+	Input  string // input size description
+	Metric metrics.Metric
+	AR     int // number of approximated memory regions
+}
+
+// Ctx is the environment a workload runs in. Sync (re)compresses a region's
+// blocks under the active configuration, mutating the device image when the
+// mode decision is lossy; it must be called after filling inputs and after
+// each kernel's stores. Rec collects the timing trace.
+type Ctx struct {
+	Dev  *device.Device
+	Rec  *trace.Recorder
+	Sync func(r device.Region)
+}
+
+// NewCtx bundles a context; sync and rec may be no-ops for functional-only
+// runs.
+func NewCtx(dev *device.Device, rec *trace.Recorder, sync func(device.Region)) *Ctx {
+	if sync == nil {
+		sync = func(device.Region) {}
+	}
+	return &Ctx{Dev: dev, Rec: rec, Sync: sync}
+}
+
+// Workload is one benchmark. Run allocates regions, fills inputs, executes
+// the kernels and returns the output vector used for error evaluation.
+type Workload interface {
+	Info() Info
+	Run(ctx *Ctx) ([]float64, error)
+}
+
+// Registry returns the paper's nine workloads in Table III order.
+func Registry() []Workload {
+	return []Workload{
+		NewJM(),
+		NewBS(),
+		NewDCT(),
+		NewFWT(),
+		NewTP(),
+		NewBP(),
+		NewNN(),
+		NewSRAD1(),
+		NewSRAD2(),
+	}
+}
+
+// ByName returns the workload with the given Table III name.
+func ByName(name string) (Workload, error) {
+	for _, w := range Registry() {
+		if w.Info().Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown benchmark %q", name)
+}
+
+// Names lists the registry names in order.
+func Names() []string {
+	var out []string
+	for _, w := range Registry() {
+		out = append(out, w.Info().Name)
+	}
+	return out
+}
