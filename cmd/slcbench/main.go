@@ -3,9 +3,14 @@
 // Usage:
 //
 //	slcbench -all                 # everything (written to -out, default stdout)
+//	slcbench -all -parallel 0     # same, fanned across all cores
 //	slcbench -fig 7               # one figure (1, 2, 7, 8, 9)
 //	slcbench -table 1             # one table (1, 2, 3)
 //	slcbench -all -out report.txt -v
+//
+// -parallel N executes the evaluation matrix on N workers (0 = all cores)
+// before rendering; the figures then read the memoised results, so the
+// output is identical to a serial run.
 package main
 
 import (
@@ -29,6 +34,7 @@ func main() {
 		table     = flag.Int("table", 0, "regenerate one table (1, 2, 3)")
 		ablations = flag.Bool("ablations", false, "run the ablation study")
 		out       = flag.String("out", "", "write output to this file instead of stdout")
+		parallel  = flag.Int("parallel", 1, "evaluation workers (0 = all cores, 1 = serial)")
 		verbose   = flag.Bool("v", false, "log per-run progress to stderr")
 	)
 	flag.Parse()
@@ -45,6 +51,33 @@ func main() {
 	r := experiments.NewRunner()
 	if *verbose {
 		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ..", s) }
+	}
+	// Warm the runner's memo across a worker pool with exactly the cells
+	// the selected target renders; the output below then reads memoised
+	// results and is byte-identical to a serial run. (-table targets render
+	// static configuration tables; there is nothing to parallelise.)
+	if *parallel != 1 {
+		var full []experiments.Cell
+		var comp []experiments.Cell
+		switch {
+		case *all:
+			full = experiments.EvaluationCells()
+			comp = experiments.CompressionCells(compress.MAG32)
+		case *ablations:
+			full = experiments.AblationCells()
+		case *fig != 0:
+			full, comp = experiments.CellsForFigure(*fig)
+		}
+		if len(full) > 0 {
+			if _, err := r.RunAll(full, *parallel); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if len(comp) > 0 {
+			if err := r.CompressAll(comp, *parallel); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 
 	switch {

@@ -5,8 +5,12 @@
 // Usage:
 //
 //	slcsim -bench NN -codec tslc-opt -mag 32 -threshold 16
-//	slcsim -bench DCT -codec e2mc
+//	slcsim -bench DCT -codec e2mc -parallel 0
 //	slcsim -list
+//	slcsim -list-codecs
+//
+// The codec is selected by its registry name (compress.Names); an unknown
+// name fails with the available set.
 package main
 
 import (
@@ -18,7 +22,6 @@ import (
 
 	"repro/internal/compress"
 	"repro/internal/experiments"
-	"repro/internal/slc"
 	"repro/internal/workloads"
 )
 
@@ -27,10 +30,12 @@ func main() {
 	log.SetPrefix("slcsim: ")
 	var (
 		bench     = flag.String("bench", "", "benchmark name (see -list)")
-		codec     = flag.String("codec", "tslc-opt", "raw | bdi | fpc | cpack | e2mc | tslc-simp | tslc-pred | tslc-opt")
+		codec     = flag.String("codec", "tslc-opt", "codec registry name (see -list-codecs)")
 		magBytes  = flag.Int("mag", 32, "memory access granularity in bytes (16, 32, 64)")
-		threshold = flag.Int("threshold", 16, "lossy threshold in bytes (TSLC only)")
+		threshold = flag.Int("threshold", 16, "lossy threshold in bytes (lossy codecs only)")
+		parallel  = flag.Int("parallel", 1, "worker goroutines for block compression (0 = all cores)")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
+		listCodec = flag.Bool("list-codecs", false, "list registered codecs and exit")
 		verbose   = flag.Bool("v", false, "log progress")
 	)
 	flag.Parse()
@@ -43,6 +48,10 @@ func main() {
 		}
 		return
 	}
+	if *listCodec {
+		fmt.Println(strings.Join(compress.Names(), "\n"))
+		return
+	}
 	if *bench == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -51,11 +60,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg, err := parseConfig(*codec, compress.MAG(*magBytes), *threshold*8)
+	cfg, err := experiments.NamedConfig(*codec, compress.MAG(*magBytes), *threshold*8)
 	if err != nil {
 		log.Fatal(err)
 	}
 	r := experiments.NewRunner()
+	r.SyncWorkers = experiments.Workers(*parallel)
 	if *verbose {
 		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ..", s) }
 	}
@@ -68,28 +78,6 @@ func main() {
 		log.Fatal(err)
 	}
 	print(res, base)
-}
-
-func parseConfig(codec string, mag compress.MAG, thresholdBits int) (experiments.Config, error) {
-	switch strings.ToLower(codec) {
-	case "raw":
-		return experiments.BaselineConfig(experiments.KindUncompressed, mag), nil
-	case "bdi":
-		return experiments.BaselineConfig(experiments.KindBDI, mag), nil
-	case "fpc":
-		return experiments.BaselineConfig(experiments.KindFPC, mag), nil
-	case "cpack":
-		return experiments.BaselineConfig(experiments.KindCPACK, mag), nil
-	case "e2mc":
-		return experiments.E2MCConfig(mag), nil
-	case "tslc-simp":
-		return experiments.TSLCConfig(slc.SIMP, mag, thresholdBits), nil
-	case "tslc-pred":
-		return experiments.TSLCConfig(slc.PRED, mag, thresholdBits), nil
-	case "tslc-opt":
-		return experiments.TSLCConfig(slc.OPT, mag, thresholdBits), nil
-	}
-	return experiments.Config{}, fmt.Errorf("unknown codec %q", codec)
 }
 
 func print(res, base experiments.RunResult) {

@@ -6,6 +6,11 @@
 //
 //	slctrace -bench SRAD1
 //	slctrace -bench BS -mag 64
+//	slctrace -bench NN -codec bdi -parallel 0
+//
+// The codec is selected by its registry name and validated against
+// compress.Names; lossy codecs (tslc-*) trace their lossless base on exact
+// regions as the runner does.
 package main
 
 import (
@@ -26,8 +31,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("slctrace: ")
 	var (
-		bench    = flag.String("bench", "", "benchmark name")
-		magBytes = flag.Int("mag", 32, "memory access granularity in bytes")
+		bench     = flag.String("bench", "", "benchmark name")
+		codec     = flag.String("codec", "e2mc", "codec registry name")
+		magBytes  = flag.Int("mag", 32, "memory access granularity in bytes")
+		threshold = flag.Int("threshold", 16, "lossy threshold in bytes (lossy codecs only)")
+		parallel  = flag.Int("parallel", 1, "worker goroutines for block compression (0 = all cores)")
 	)
 	flag.Parse()
 	if *bench == "" {
@@ -39,26 +47,31 @@ func main() {
 		log.Fatal(err)
 	}
 	mag := compress.MAG(*magBytes)
+	cfg, err := experiments.NamedConfig(*codec, mag, *threshold*8)
+	if err != nil {
+		log.Fatal(err)
+	}
 	r := experiments.NewRunner()
 	r.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ..", s) }
 
-	// Build the E2MC pipeline and record the trace.
+	// Build the configured pipeline and record the trace.
 	dev := device.New()
-	lossless, _, err := experiments.RunnerCodecs(r, w, experiments.E2MCConfig(mag))
+	lossless, lossy, err := experiments.RunnerCodecs(r, w, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pl, err := pipeline.New(dev, mag, lossless, nil)
+	pl, err := pipeline.New(dev, mag, lossless, lossy)
 	if err != nil {
 		log.Fatal(err)
 	}
+	pl.SetWorkers(experiments.Workers(*parallel))
 	rec := trace.NewRecorder(pl.BurstsFor)
 	if _, err := w.Run(workloads.NewCtx(dev, rec, pl.Sync)); err != nil {
 		log.Fatal(err)
 	}
 
 	tr := rec.Trace()
-	fmt.Printf("%s trace (E2MC @ MAG %s)\n", w.Info().Name, mag)
+	fmt.Printf("%s trace (%s)\n", w.Info().Name, cfg.Name)
 	for _, k := range tr.Kernels {
 		var acc, rd, wr, bursts int
 		for _, warp := range k.Warps {

@@ -27,7 +27,7 @@ func main() {
 	fmt.Printf("%s: raw vs effective compression ratio (MAG 32B)\n\n", *bench)
 	fmt.Printf("%-8s %8s %10s %14s\n", "codec", "raw", "effective", "lost to MAG")
 	for _, c := range experiments.Fig1Codecs {
-		st, err := r.CompressionOnly(w, experiments.BaselineConfig(c.Kind, compress.MAG32))
+		st, err := r.CompressionOnly(w, experiments.BaselineConfig(c.Codec, compress.MAG32))
 		if err != nil {
 			log.Fatal(err)
 		}

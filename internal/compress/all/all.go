@@ -1,0 +1,16 @@
+// Package all registers every codec in the repository by importing each
+// codec package for its Register side effect. Import it (blank) from any
+// program or test that selects codecs by registry name; the experiments
+// runner imports it, so the cmd/ binaries get the full set transitively.
+package all
+
+import (
+	// Each import registers one or more codecs with internal/compress.
+	_ "repro/internal/compress/bdi"
+	_ "repro/internal/compress/bpc"
+	_ "repro/internal/compress/cpack"
+	_ "repro/internal/compress/e2mc"
+	_ "repro/internal/compress/fpc"
+	_ "repro/internal/compress/hycomp"
+	_ "repro/internal/slc"
+)

@@ -1,0 +1,13 @@
+package bdi
+
+import "repro/internal/compress"
+
+func init() {
+	compress.Register("bdi", compress.Info{
+		New: func(compress.BuildContext) (compress.Codec, error) { return Codec{}, nil },
+		// Paper §V-B baseline latencies: BDI compresses in 2 cycles and
+		// decompresses in 1.
+		CompressCycles:   2,
+		DecompressCycles: 1,
+	})
+}

@@ -1,0 +1,13 @@
+package bpc
+
+import "repro/internal/compress"
+
+func init() {
+	compress.Register("bpc", compress.Info{
+		New: func(compress.BuildContext) (compress.Codec, error) { return Codec{}, nil },
+		// The DBP/DBX transform plus plane encoding is the deepest of the
+		// word-based pipelines: 12 cycles to compress, 10 to decompress.
+		CompressCycles:   12,
+		DecompressCycles: 10,
+	})
+}

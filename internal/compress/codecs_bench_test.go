@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/compress"
@@ -11,6 +12,9 @@ import (
 	"repro/internal/compress/cpack"
 	"repro/internal/compress/e2mc"
 	"repro/internal/compress/fpc"
+	"repro/internal/gpu/device"
+	"repro/internal/pipeline"
+	"repro/internal/slc"
 )
 
 // benchBlocks builds a mixed corpus: tick-quantised floats, small integers,
@@ -79,3 +83,50 @@ func BenchmarkE2MC(b *testing.B) {
 	}
 	benchCodec(b, e2mc.New(tab))
 }
+
+// benchSync measures pipeline.Sync — the hot path of every evaluation cell —
+// over a 4 MiB approximable region under the full SLC stack (E2MC lossless
+// plus TSLC-OPT lossy with write-back), at the given worker count. Compare
+// BenchmarkSyncSerial to BenchmarkSyncParallel for the block-fan-out
+// speedup.
+func benchSync(b *testing.B, workers int) {
+	const regionSize = 4 << 20
+	dev := device.New()
+	r, err := dev.Malloc("bench", regionSize, true, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blocks := benchBlocks(512)
+	mem, err := dev.Bytes(r.Addr, r.Size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for off := 0; off < len(mem); off += compress.BlockSize {
+		copy(mem[off:], blocks[(off/compress.BlockSize)%len(blocks)])
+	}
+	tr := e2mc.NewTrainer()
+	for _, blk := range blocks {
+		tr.Sample(blk)
+	}
+	tab, err := tr.Build(0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lossy, err := slc.New(tab, slc.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := pipeline.New(dev, compress.MAG32, e2mc.New(tab), lossy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.SetWorkers(workers)
+	b.SetBytes(regionSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Sync(r)
+	}
+}
+
+func BenchmarkSyncSerial(b *testing.B)   { benchSync(b, 1) }
+func BenchmarkSyncParallel(b *testing.B) { benchSync(b, runtime.GOMAXPROCS(0)) }

@@ -145,7 +145,9 @@ func (c Codec) Compress(block []byte) compress.Encoded {
 	for _, word := range words {
 		encodeWord(word, &d, w)
 	}
-	if w.Len() > compress.BlockBits {
+	// Inclusive boundary: Decompress reads any BlockBits-sized encoding as
+	// a raw payload, so an exactly 1024-bit stream must be stored raw.
+	if w.Len() >= compress.BlockBits {
 		p := make([]byte, compress.BlockSize)
 		copy(p, block)
 		return compress.Encoded{Bits: compress.BlockBits, Payload: p}

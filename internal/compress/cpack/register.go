@@ -1,0 +1,12 @@
+package cpack
+
+import "repro/internal/compress"
+
+func init() {
+	compress.Register("cpack", compress.Info{
+		New: func(compress.BuildContext) (compress.Codec, error) { return Codec{}, nil },
+		// C-PACK's dictionary pipeline is symmetric: 8 cycles each way.
+		CompressCycles:   8,
+		DecompressCycles: 8,
+	})
+}

@@ -1,0 +1,22 @@
+package e2mc
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+)
+
+func init() {
+	compress.Register("e2mc", compress.Info{
+		New: func(ctx compress.BuildContext) (compress.Codec, error) {
+			tab, ok := ctx.Table.(*Table)
+			if !ok || tab == nil {
+				return nil, fmt.Errorf("e2mc: build context carries no trained table (got %T)", ctx.Table)
+			}
+			return New(tab), nil
+		},
+		NeedsTable:       true,
+		CompressCycles:   CompressCycles,
+		DecompressCycles: DecompressCycles,
+	})
+}

@@ -103,8 +103,11 @@ func (c Codec) Compress(block []byte) compress.Encoded {
 		i++
 	}
 	bits := w.Len()
-	if bits > compress.BlockBits {
+	if bits >= compress.BlockBits {
 		// Store uncompressed; the simulator treats a full-size block as raw.
+		// The boundary must be inclusive: Decompress reads any
+		// BlockBits-sized encoding as a raw payload, so an exactly
+		// 1024-bit compressed stream cannot be stored as such.
 		p := make([]byte, compress.BlockSize)
 		copy(p, block)
 		return compress.Encoded{Bits: compress.BlockBits, Payload: p}

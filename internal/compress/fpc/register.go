@@ -1,0 +1,13 @@
+package fpc
+
+import "repro/internal/compress"
+
+func init() {
+	compress.Register("fpc", compress.Info{
+		New: func(compress.BuildContext) (compress.Codec, error) { return Codec{}, nil },
+		// FPC's serial pattern pipeline: 8 cycles to compress, 5 to
+		// decompress (Alameldeen & Wood's five-stage decompressor).
+		CompressCycles:   8,
+		DecompressCycles: 5,
+	})
+}

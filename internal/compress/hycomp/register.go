@@ -1,0 +1,25 @@
+package hycomp
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/compress/e2mc"
+)
+
+func init() {
+	compress.Register("hycomp", compress.Info{
+		New: func(ctx compress.BuildContext) (compress.Codec, error) {
+			tab, ok := ctx.Table.(*e2mc.Table)
+			if !ok || tab == nil {
+				return nil, fmt.Errorf("hycomp: build context carries no trained table (got %T)", ctx.Table)
+			}
+			return New(tab), nil
+		},
+		NeedsTable: true,
+		// The type predictor adds 4 cycles in front of the entropy path;
+		// decompression dispatches directly on the stored tag.
+		CompressCycles:   e2mc.CompressCycles + 4,
+		DecompressCycles: e2mc.DecompressCycles,
+	})
+}

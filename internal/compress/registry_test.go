@@ -1,0 +1,183 @@
+package compress_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/compress"
+	_ "repro/internal/compress/all"
+	"repro/internal/compress/e2mc"
+	"repro/internal/slc"
+)
+
+// registryTable trains an E2MC table on the same mixed corpus the codecs are
+// tested against, for the factories that need one.
+func registryTable(t testing.TB) *e2mc.Table {
+	t.Helper()
+	tr := e2mc.NewTrainer()
+	for _, b := range testBlocks(512) {
+		tr.Sample(b)
+	}
+	tab, err := tr.Build(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// testBlocks builds a mixed corpus: tick-quantised floats, small integers,
+// pointer-like values, zeros and raw noise.
+func testBlocks(n int) [][]byte {
+	rng := rand.New(rand.NewSource(7))
+	blocks := make([][]byte, n)
+	for i := range blocks {
+		b := make([]byte, compress.BlockSize)
+		switch i % 5 {
+		case 0:
+			for j := 0; j < 32; j++ {
+				v := 2 + float32(rng.Intn(512))/256
+				binary.LittleEndian.PutUint32(b[j*4:], math.Float32bits(v))
+			}
+		case 1:
+			for j := 0; j < 32; j++ {
+				binary.LittleEndian.PutUint32(b[j*4:], uint32(rng.Intn(4096)))
+			}
+		case 2:
+			base := rng.Uint64()
+			for j := 0; j < 16; j++ {
+				binary.LittleEndian.PutUint64(b[j*8:], base+uint64(rng.Intn(256)))
+			}
+		case 3:
+			// zeros
+		case 4:
+			rng.Read(b)
+		}
+		blocks[i] = b
+	}
+	return blocks
+}
+
+// TestRegistryComplete pins the registered codec set: the seven techniques
+// of the paper's evaluation (the three TSLC variants sharing the slc
+// package) plus
+// the raw baseline. A new codec package extends this by a Register call.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"bdi", "bpc", "cpack", "e2mc", "fpc", "hycomp",
+		"raw", "tslc-opt", "tslc-pred", "tslc-simp",
+	}
+	got := compress.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i, name := range want {
+		if got[i] != name {
+			t.Fatalf("Names()[%d] = %q, want %q (full set %v)", i, got[i], name, got)
+		}
+	}
+}
+
+// TestRegistryRoundTrip builds every registered codec through its factory
+// and round-trips the corpus: lossless codecs must reproduce every block
+// exactly; lossy codecs (the TSLC variants) must decompress without error
+// and stay within the SLC bound of at most MaxApproxSymbols approximated
+// 16-bit symbols per block.
+func TestRegistryRoundTrip(t *testing.T) {
+	tab := registryTable(t)
+	blocks := testBlocks(256)
+	for _, name := range compress.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			info, ok := compress.Lookup(name)
+			if !ok {
+				t.Fatalf("Lookup(%q) failed for a name Names() returned", name)
+			}
+			ctx := compress.BuildContext{MAG: compress.MAG32, ThresholdBits: 16 * 8}
+			if info.NeedsTable {
+				ctx.Table = tab
+			}
+			c, err := info.New(ctx)
+			if err != nil {
+				t.Fatalf("factory: %v", err)
+			}
+			if c.Name() == "" {
+				t.Error("codec has empty display name")
+			}
+			dst := make([]byte, compress.BlockSize)
+			for i, block := range blocks {
+				enc := c.Compress(block)
+				if enc.Bits <= 0 || enc.Bits > compress.BlockBits {
+					t.Fatalf("block %d: compressed size %d bits out of (0, %d]",
+						i, enc.Bits, compress.BlockBits)
+				}
+				if enc.Lossy && !info.Lossy {
+					t.Fatalf("block %d: lossless codec produced a lossy encoding", i)
+				}
+				if err := c.Decompress(enc, dst); err != nil {
+					t.Fatalf("block %d: decompress: %v", i, err)
+				}
+				if !enc.Lossy {
+					if !bytes.Equal(dst, block) {
+						t.Fatalf("block %d: lossless round trip mismatch", i)
+					}
+					continue
+				}
+				if diff := symbolDiffs(block, dst); diff > slc.MaxApproxSymbols {
+					t.Fatalf("block %d: lossy encoding changed %d symbols, bound is %d",
+						i, diff, slc.MaxApproxSymbols)
+				}
+			}
+		})
+	}
+}
+
+// symbolDiffs counts differing 16-bit symbols between two blocks.
+func symbolDiffs(a, b []byte) int {
+	sa, sb := compress.Symbols(a), compress.Symbols(b)
+	n := 0
+	for i := range sa {
+		if sa[i] != sb[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRegistryBuildErrors exercises the error paths: unknown names list the
+// available set, and table-needing codecs refuse to build without one.
+func TestRegistryBuildErrors(t *testing.T) {
+	if _, err := compress.Build("no-such-codec", compress.BuildContext{}); err == nil {
+		t.Error("Build of unknown codec succeeded")
+	} else if !bytes.Contains([]byte(err.Error()), []byte("e2mc")) {
+		t.Errorf("unknown-codec error does not list the available set: %v", err)
+	}
+	for _, name := range []string{"e2mc", "hycomp", "tslc-opt"} {
+		if _, err := compress.Build(name, compress.BuildContext{MAG: compress.MAG32}); err == nil {
+			t.Errorf("%s built without a trained table", name)
+		}
+	}
+}
+
+// TestRegistryTraits pins the trait wiring the runner depends on.
+func TestRegistryTraits(t *testing.T) {
+	raw, _ := compress.Lookup("raw")
+	if !raw.Identity || raw.Lossy || raw.NeedsTable {
+		t.Errorf("raw traits wrong: %+v", raw)
+	}
+	for _, name := range []string{"tslc-simp", "tslc-pred", "tslc-opt"} {
+		info, ok := compress.Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		if !info.Lossy || info.Base != "e2mc" || !info.NeedsTable {
+			t.Errorf("%s traits wrong: %+v", name, info)
+		}
+	}
+	e, _ := compress.Lookup("e2mc")
+	if e.CompressCycles != e2mc.CompressCycles || e.DecompressCycles != e2mc.DecompressCycles {
+		t.Errorf("e2mc latency traits %d/%d", e.CompressCycles, e.DecompressCycles)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -53,7 +54,7 @@ func TestGoldenHasZeroError(t *testing.T) {
 	}
 	r := NewRunner()
 	w := tpWorkload(t)
-	res, err := r.Run(w, BaselineConfig(KindUncompressed, compress.MAG32))
+	res, err := r.Run(w, BaselineConfig("raw", compress.MAG32))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestLosslessRunsHaveZeroError(t *testing.T) {
 	r := NewRunner()
 	w := tpWorkload(t)
 	for _, cfg := range []Config{
-		BaselineConfig(KindBDI, compress.MAG32),
+		BaselineConfig("bdi", compress.MAG32),
 		E2MCConfig(compress.MAG32),
 	} {
 		res, err := r.Run(w, cfg)
@@ -124,7 +125,7 @@ func TestTSLCDirectionalProperties(t *testing.T) {
 	}
 }
 
-func TestSimConfigPerKind(t *testing.T) {
+func TestSimConfigPerCodec(t *testing.T) {
 	e := SimConfig(E2MCConfig(compress.MAG32))
 	if e.MC.CompressCycles != 46 || e.MC.DecompressCycles != 20 {
 		t.Errorf("E2MC latencies %d/%d", e.MC.CompressCycles, e.MC.DecompressCycles)
@@ -133,7 +134,7 @@ func TestSimConfigPerKind(t *testing.T) {
 	if s.MC.CompressCycles != 60 || s.MC.DecompressCycles != 20 {
 		t.Errorf("TSLC latencies %d/%d", s.MC.CompressCycles, s.MC.DecompressCycles)
 	}
-	raw := SimConfig(BaselineConfig(KindUncompressed, compress.MAG32))
+	raw := SimConfig(BaselineConfig("raw", compress.MAG32))
 	if raw.MC.CompressCycles != 0 || raw.MC.DecompressCycles != 0 {
 		t.Errorf("raw latencies %d/%d", raw.MC.CompressCycles, raw.MC.DecompressCycles)
 	}
@@ -144,6 +145,131 @@ func TestSimConfigPerKind(t *testing.T) {
 		if agg < 190 || agg > 195 {
 			t.Errorf("MAG %s: peak bandwidth %.1f GB/s, want ≈192.4", mag, agg)
 		}
+	}
+}
+
+// TestRunAllMatchesSerial pins the RunAll contract: fanning cells across a
+// worker pool yields results identical to serial Run calls, in input order.
+func TestRunAllMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runner integration in -short mode")
+	}
+	w := tpWorkload(t)
+	cells := []Cell{
+		{w, E2MCConfig(compress.MAG32)},
+		{w, TSLCConfig(slc.OPT, compress.MAG32, DefaultThresholdBits)},
+		{w, TSLCConfig(slc.SIMP, compress.MAG32, DefaultThresholdBits)},
+		{w, BaselineConfig("bdi", compress.MAG32)},
+		{w, BaselineConfig("raw", compress.MAG32)},
+		{w, E2MCConfig(compress.MAG32)}, // duplicate cell: memoised, not re-run
+	}
+
+	serial := NewRunner()
+	want := make([]RunResult, len(cells))
+	for i, c := range cells {
+		res, err := serial.Run(c.Workload, c.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+
+	par := NewRunner()
+	runs := 0
+	par.Progress = func(s string) {
+		if strings.HasPrefix(s, "run:") {
+			runs++
+		}
+	}
+	got, err := par.RunAll(cells, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cells) {
+		t.Fatalf("RunAll returned %d results for %d cells", len(got), len(cells))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("cell %d (%s): parallel result differs from serial\nparallel: %+v\nserial:   %+v",
+				i, cells[i].Config.Name, got[i], want[i])
+		}
+	}
+	if runs != len(cells)-1 {
+		t.Errorf("executed %d runs, want %d (duplicate cell must be memoised)", runs, len(cells)-1)
+	}
+}
+
+// TestRunAllParallelSyncMatchesSerial layers both levels of parallelism:
+// cell fan-out plus in-pipeline block fan-out must still reproduce the
+// serial results bitwise.
+func TestRunAllParallelSyncMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runner integration in -short mode")
+	}
+	w := tpWorkload(t)
+	cells := []Cell{
+		{w, E2MCConfig(compress.MAG32)},
+		{w, TSLCConfig(slc.OPT, compress.MAG32, DefaultThresholdBits)},
+	}
+	serial := NewRunner()
+	par := NewRunner()
+	par.SyncWorkers = 4
+	got, err := par.RunAll(cells, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cells {
+		want, err := serial.Run(c.Workload, c.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("cell %d (%s): parallel-sync result differs from serial", i, c.Config.Name)
+		}
+	}
+}
+
+// TestRunAllReportsCellErrors checks that a bad cell surfaces in the joined
+// error while good cells still produce results.
+func TestRunAllReportsCellErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runner integration in -short mode")
+	}
+	w := tpWorkload(t)
+	cells := []Cell{
+		{w, Config{Name: "BOGUS@32B", Codec: "bogus", MAG: compress.MAG32}},
+		{w, BaselineConfig("raw", compress.MAG32)},
+	}
+	r := NewRunner()
+	got, err := r.RunAll(cells, 2)
+	if err == nil {
+		t.Fatal("RunAll with an unknown codec returned no error")
+	}
+	if !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("error does not name the bad codec: %v", err)
+	}
+	if got[1].Workload == "" {
+		t.Error("good cell produced no result alongside the failing one")
+	}
+}
+
+func TestNamedConfig(t *testing.T) {
+	cfg, err := NamedConfig("tslc-opt", compress.MAG32, 16*8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "TSLC-OPT@32B/t16B" || cfg.Codec != "tslc-opt" || cfg.ThresholdBits != 128 {
+		t.Errorf("NamedConfig lossy = %+v", cfg)
+	}
+	cfg, err = NamedConfig("bdi", compress.MAG64, 16*8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "BDI@64B" || cfg.ThresholdBits != 0 {
+		t.Errorf("NamedConfig lossless = %+v", cfg)
+	}
+	if _, err := NamedConfig("nope", compress.MAG32, 0); err == nil {
+		t.Error("NamedConfig accepted an unknown codec")
 	}
 }
 
@@ -181,7 +307,7 @@ func TestFigure1SingleCodec(t *testing.T) {
 	}
 	r := NewRunner()
 	w := tpWorkload(t)
-	st, err := r.CompressionOnly(w, BaselineConfig(KindBDI, compress.MAG32))
+	st, err := r.CompressionOnly(w, BaselineConfig("bdi", compress.MAG32))
 	if err != nil {
 		t.Fatal(err)
 	}

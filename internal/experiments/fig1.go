@@ -15,14 +15,14 @@ import (
 // (SC² is Huffman-based like E2MC, so the E2MC column stands in for it.)
 var Fig1Codecs = []struct {
 	Label string
-	Kind  Kind
+	Codec string // registry name
 }{
-	{"BDI", KindBDI},
-	{"FPC", KindFPC},
-	{"CPACK", KindCPACK},
-	{"E2MC", KindE2MC},
-	{"BPC", KindBPC},
-	{"HYCOMP", KindHyComp},
+	{"BDI", "bdi"},
+	{"FPC", "fpc"},
+	{"CPACK", "cpack"},
+	{"E2MC", "e2mc"},
+	{"BPC", "bpc"},
+	{"HYCOMP", "hycomp"},
 }
 
 // Fig1Row holds one benchmark's raw and effective compression ratios per
@@ -49,7 +49,7 @@ func Figure1(r *Runner, mag compress.MAG) (Fig1, error) {
 	for _, w := range workloads.Registry() {
 		row := Fig1Row{Benchmark: w.Info().Name, Raw: map[string]float64{}, Eff: map[string]float64{}}
 		for _, c := range Fig1Codecs {
-			st, err := r.CompressionOnly(w, BaselineConfig(c.Kind, mag))
+			st, err := r.CompressionOnly(w, BaselineConfig(c.Codec, mag))
 			if err != nil {
 				return Fig1{}, err
 			}

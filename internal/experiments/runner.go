@@ -3,18 +3,23 @@
 // evaluation matrix — golden run, online-sampling table training, compressed
 // run with error measurement, timing simulation and energy accounting — and
 // memoises results so figures sharing runs (7, 8) do not recompute them.
+//
+// The Runner is safe for concurrent use: memoisation is singleflight-style
+// (concurrent requests for the same golden run, entropy table or result
+// compute once while the rest wait), and RunAll fans an evaluation matrix
+// across a worker pool with results identical to serial execution.
 package experiments
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
+	"strings"
+	"sync"
 
 	"repro/internal/compress"
-	"repro/internal/compress/bdi"
-	"repro/internal/compress/bpc"
-	"repro/internal/compress/cpack"
+	_ "repro/internal/compress/all" // register every codec
 	"repro/internal/compress/e2mc"
-	"repro/internal/compress/fpc"
-	"repro/internal/compress/hycomp"
 	"repro/internal/gpu/device"
 	"repro/internal/gpu/sim"
 	"repro/internal/gpu/trace"
@@ -25,56 +30,63 @@ import (
 	"repro/internal/workloads"
 )
 
-// Kind selects the compression technique of a configuration.
-type Kind int
-
-// The techniques of the evaluation. KindBPC extends the paper's Figure 1:
-// §II-A argues qualitatively that bit-plane compression suffers from MAG
-// like the measured baselines; including it makes the claim quantitative.
-const (
-	KindUncompressed Kind = iota
-	KindBDI
-	KindFPC
-	KindCPACK
-	KindE2MC
-	KindTSLC
-	KindBPC
-	KindHyComp
-)
-
-// Config is one compression configuration.
+// Config is one compression configuration, identified by the codec's
+// registry name (see compress.Names for the available set).
 type Config struct {
-	Name          string
-	Kind          Kind
-	MAG           compress.MAG
-	Variant       slc.Variant // TSLC only
-	ThresholdBits int         // TSLC only
+	// Name is the display name used in figures and memoisation keys, e.g.
+	// "E2MC@32B" or "TSLC-OPT@32B/t16B".
+	Name string
+	// Codec is the registry name of the technique, e.g. "e2mc", "bdi",
+	// "tslc-opt". "raw" selects the uncompressed baseline.
+	Codec string
+	// MAG is the memory access granularity of the cell.
+	MAG compress.MAG
+	// ThresholdBits is the lossy threshold (lossy codecs only).
+	ThresholdBits int
+}
+
+// NamedConfig builds a configuration from a codec registry name, validating
+// the name against the registered set. thresholdBits applies to lossy
+// codecs only; a non-positive value selects the paper's default, so the
+// display name always matches the threshold the codec actually runs at.
+func NamedConfig(codec string, mag compress.MAG, thresholdBits int) (Config, error) {
+	codec = strings.ToLower(codec)
+	info, ok := compress.Lookup(codec)
+	if !ok {
+		return Config{}, compress.UnknownCodecError(codec)
+	}
+	cfg := Config{Codec: codec, MAG: mag}
+	if info.Lossy {
+		if thresholdBits <= 0 {
+			thresholdBits = DefaultThresholdBits
+		}
+		cfg.ThresholdBits = thresholdBits
+		cfg.Name = fmt.Sprintf("%s@%s/t%dB", strings.ToUpper(codec), mag, thresholdBits/8)
+	} else {
+		cfg.Name = fmt.Sprintf("%s@%s", strings.ToUpper(codec), mag)
+	}
+	return cfg, nil
 }
 
 // E2MCConfig returns the lossless baseline at the given MAG.
 func E2MCConfig(mag compress.MAG) Config {
-	return Config{Name: fmt.Sprintf("E2MC@%s", mag), Kind: KindE2MC, MAG: mag}
+	return Config{Name: fmt.Sprintf("E2MC@%s", mag), Codec: "e2mc", MAG: mag}
 }
 
 // TSLCConfig returns an SLC configuration.
 func TSLCConfig(v slc.Variant, mag compress.MAG, thresholdBits int) Config {
 	return Config{
 		Name:          fmt.Sprintf("%s@%s/t%dB", v, mag, thresholdBits/8),
-		Kind:          KindTSLC,
+		Codec:         slc.RegistryName(v),
 		MAG:           mag,
-		Variant:       v,
 		ThresholdBits: thresholdBits,
 	}
 }
 
-// BaselineConfig returns one of the Figure 1 lossless codecs.
-func BaselineConfig(k Kind, mag compress.MAG) Config {
-	names := map[Kind]string{
-		KindUncompressed: "RAW", KindBDI: "BDI", KindFPC: "FPC",
-		KindCPACK: "CPACK", KindE2MC: "E2MC", KindBPC: "BPC",
-		KindHyComp: "HYCOMP",
-	}
-	return Config{Name: fmt.Sprintf("%s@%s", names[k], mag), Kind: k, MAG: mag}
+// BaselineConfig returns one of the Figure 1 lossless codecs (or the raw
+// baseline) by registry name.
+func BaselineConfig(codec string, mag compress.MAG) Config {
+	return Config{Name: fmt.Sprintf("%s@%s", strings.ToUpper(codec), mag), Codec: codec, MAG: mag}
 }
 
 // RunResult is everything measured for one workload × configuration.
@@ -88,26 +100,78 @@ type RunResult struct {
 	Trace     trace.Stats
 }
 
-// Runner executes and memoises evaluation cells.
+// cellKey is the memoisation key of one evaluation cell; Run,
+// CompressionOnly (with a "|comp" suffix) and EvaluationCells' dedup all
+// derive from it.
+func cellKey(workload string, cfg Config) string { return workload + "|" + cfg.Name }
+
+// cell is one singleflight slot: the first requester computes, concurrent
+// requesters wait on done and read the shared value.
+type cell[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// flight memoises keyed computations with singleflight semantics.
+type flight[T any] struct {
+	mu sync.Mutex
+	m  map[string]*cell[T]
+}
+
+// do returns the memoised value for key, computing it with fn exactly once
+// no matter how many goroutines ask concurrently.
+func (f *flight[T]) do(key string, fn func() (T, error)) (T, error) {
+	f.mu.Lock()
+	if f.m == nil {
+		f.m = make(map[string]*cell[T])
+	}
+	if c, ok := f.m[key]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &cell[T]{done: make(chan struct{})}
+	f.m[key] = c
+	f.mu.Unlock()
+	// done must close even if fn panics (the pipeline panics on corrupted
+	// round trips): a recovered panic higher up must not leave waiters — or
+	// any future requester of this key — blocked forever.
+	defer close(c.done)
+	defer func() {
+		if r := recover(); r != nil {
+			c.err = fmt.Errorf("experiments: panic computing %s: %v", key, r)
+			panic(r)
+		}
+	}()
+	c.val, c.err = fn()
+	return c.val, c.err
+}
+
+// Runner executes and memoises evaluation cells. The zero value is not
+// usable; call NewRunner.
 type Runner struct {
-	golden  map[string][]float64
-	tables  map[string]*e2mc.Table
-	results map[string]RunResult
+	golden  flight[[]float64]
+	tables  flight[*e2mc.Table]
+	results flight[RunResult]
+
+	// SyncWorkers, when > 1, parallelises block compression inside each
+	// run's pipeline (see pipeline.SetWorkers). Results are identical to
+	// serial execution.
+	SyncWorkers int
+
+	progressMu sync.Mutex
 	// Progress, when set, receives one line per executed (non-memoised)
-	// run.
+	// run. It may be called from multiple goroutines; calls are serialised.
 	Progress func(string)
 }
 
 // NewRunner returns an empty runner.
-func NewRunner() *Runner {
-	return &Runner{
-		golden:  make(map[string][]float64),
-		tables:  make(map[string]*e2mc.Table),
-		results: make(map[string]RunResult),
-	}
-}
+func NewRunner() *Runner { return &Runner{} }
 
 func (r *Runner) progress(format string, args ...interface{}) {
+	r.progressMu.Lock()
+	defer r.progressMu.Unlock()
 	if r.Progress != nil {
 		r.Progress(fmt.Sprintf(format, args...))
 	}
@@ -116,194 +180,361 @@ func (r *Runner) progress(format string, args ...interface{}) {
 // Golden returns the exact (uncompressed) outputs of a workload.
 func (r *Runner) Golden(w workloads.Workload) ([]float64, error) {
 	name := w.Info().Name
-	if out, ok := r.golden[name]; ok {
+	return r.golden.do(name, func() ([]float64, error) {
+		r.progress("golden run: %s", name)
+		ctx := workloads.NewCtx(device.New(), nil, nil)
+		out, err := w.Run(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("golden %s: %w", name, err)
+		}
 		return out, nil
-	}
-	r.progress("golden run: %s", name)
-	ctx := workloads.NewCtx(device.New(), nil, nil)
-	out, err := w.Run(ctx)
-	if err != nil {
-		return nil, fmt.Errorf("golden %s: %w", name, err)
-	}
-	r.golden[name] = out
-	return out, nil
+	})
 }
 
 // Table returns the workload's E2MC table, trained by sampling the device
 // image at every region synchronisation — the online-sampling substitute.
 func (r *Runner) Table(w workloads.Workload) (*e2mc.Table, error) {
 	name := w.Info().Name
-	if tab, ok := r.tables[name]; ok {
+	return r.tables.do(name, func() (*e2mc.Table, error) {
+		r.progress("training table: %s", name)
+		dev := device.New()
+		trainer := e2mc.NewTrainer()
+		sync := func(reg device.Region) {
+			reg.BlockAddrs(func(addr uint64) {
+				block, err := dev.Block(addr)
+				if err != nil {
+					panic(err)
+				}
+				trainer.Sample(block)
+			})
+		}
+		if _, err := w.Run(workloads.NewCtx(dev, nil, sync)); err != nil {
+			return nil, fmt.Errorf("training %s: %w", name, err)
+		}
+		tab, err := trainer.Build(0, 0)
+		if err != nil {
+			return nil, fmt.Errorf("building table for %s: %w", name, err)
+		}
 		return tab, nil
-	}
-	r.progress("training table: %s", name)
-	dev := device.New()
-	trainer := e2mc.NewTrainer()
-	sync := func(reg device.Region) {
-		reg.BlockAddrs(func(addr uint64) {
-			block, err := dev.Block(addr)
-			if err != nil {
-				panic(err)
-			}
-			trainer.Sample(block)
-		})
-	}
-	if _, err := w.Run(workloads.NewCtx(dev, nil, sync)); err != nil {
-		return nil, fmt.Errorf("training %s: %w", name, err)
-	}
-	tab, err := trainer.Build(0, 0)
-	if err != nil {
-		return nil, fmt.Errorf("building table for %s: %w", name, err)
-	}
-	r.tables[name] = tab
-	return tab, nil
+	})
 }
 
-// codecs builds the lossless and lossy codecs of a configuration.
+// codecs builds the lossless and lossy codecs of a configuration from the
+// registry. Identity codecs (the raw baseline) yield a nil pair; lossy
+// codecs additionally build their lossless base for exact regions.
 func (r *Runner) codecs(w workloads.Workload, cfg Config) (lossless, lossy compress.Codec, err error) {
-	switch cfg.Kind {
-	case KindUncompressed:
-		return nil, nil, nil
-	case KindBDI:
-		return bdi.Codec{}, nil, nil
-	case KindFPC:
-		return fpc.Codec{}, nil, nil
-	case KindCPACK:
-		return cpack.Codec{}, nil, nil
-	case KindBPC:
-		return bpc.Codec{}, nil, nil
-	case KindHyComp:
-		tab, err := r.Table(w)
-		if err != nil {
-			return nil, nil, err
-		}
-		return hycomp.New(tab), nil, nil
-	case KindE2MC, KindTSLC:
-		tab, err := r.Table(w)
-		if err != nil {
-			return nil, nil, err
-		}
-		lossless = e2mc.New(tab)
-		if cfg.Kind == KindTSLC {
-			lossy, err = slc.New(tab, slc.Config{
-				MAG:           cfg.MAG,
-				ThresholdBits: cfg.ThresholdBits,
-				Variant:       cfg.Variant,
-			})
-			if err != nil {
-				return nil, nil, err
-			}
-		}
-		return lossless, lossy, nil
+	info, ok := compress.Lookup(cfg.Codec)
+	if !ok {
+		return nil, nil, compress.UnknownCodecError(cfg.Codec)
 	}
-	return nil, nil, fmt.Errorf("experiments: unknown kind %d", cfg.Kind)
+	if info.Identity {
+		return nil, nil, nil
+	}
+	ctx := compress.BuildContext{MAG: cfg.MAG, ThresholdBits: cfg.ThresholdBits}
+	if info.NeedsTable {
+		tab, err := r.Table(w)
+		if err != nil {
+			return nil, nil, err
+		}
+		ctx.Table = tab
+	}
+	c, err := info.New(ctx)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: building %q: %w", cfg.Codec, err)
+	}
+	if !info.Lossy {
+		return c, nil, nil
+	}
+	if info.Base == "" {
+		return nil, nil, fmt.Errorf("experiments: lossy codec %q registers no lossless base", cfg.Codec)
+	}
+	base, err := compress.Build(info.Base, ctx)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: building base %q for %q: %w", info.Base, cfg.Codec, err)
+	}
+	return base, c, nil
 }
 
 // SimConfig derives the simulator configuration for a compression
 // configuration: the MAG sets the per-burst bytes (bus occupancy scales so
-// aggregate peak bandwidth stays at Table II's 192.4 GB/s), and the codec
-// sets the (de)compression latencies.
+// aggregate peak bandwidth stays at Table II's 192.4 GB/s), and the codec's
+// registration sets the (de)compression latencies.
 func SimConfig(cfg Config) sim.Config {
 	sc := sim.DefaultConfig()
 	sc.MAG = cfg.MAG
 	sc.MC.Dram.BurstCycles = int(cfg.MAG) / 16
-	switch cfg.Kind {
-	case KindUncompressed:
-		sc.MC.CompressCycles, sc.MC.DecompressCycles = 0, 0
-	case KindBDI:
-		sc.MC.CompressCycles, sc.MC.DecompressCycles = 2, 1
-	case KindFPC:
-		sc.MC.CompressCycles, sc.MC.DecompressCycles = 8, 5
-	case KindCPACK:
-		sc.MC.CompressCycles, sc.MC.DecompressCycles = 8, 8
-	case KindBPC:
-		sc.MC.CompressCycles, sc.MC.DecompressCycles = 12, 10
-	case KindHyComp:
-		sc.MC.CompressCycles, sc.MC.DecompressCycles = e2mc.CompressCycles+4, e2mc.DecompressCycles
-	case KindE2MC:
-		sc.MC.CompressCycles, sc.MC.DecompressCycles = e2mc.CompressCycles, e2mc.DecompressCycles
-	case KindTSLC:
-		sc.MC.CompressCycles, sc.MC.DecompressCycles = slc.CompressCycles, slc.DecompressCycles
+	if info, ok := compress.Lookup(cfg.Codec); ok {
+		sc.MC.CompressCycles = info.CompressCycles
+		sc.MC.DecompressCycles = info.DecompressCycles
 	}
 	return sc
 }
 
-// Run executes one evaluation cell (memoised).
-func (r *Runner) Run(w workloads.Workload, cfg Config) (RunResult, error) {
-	info := w.Info()
-	key := info.Name + "|" + cfg.Name
-	if res, ok := r.results[key]; ok {
-		return res, nil
-	}
-	golden, err := r.Golden(w)
-	if err != nil {
-		return RunResult{}, err
-	}
-	lossless, lossy, err := r.codecs(w, cfg)
-	if err != nil {
-		return RunResult{}, err
-	}
-	r.progress("run: %s × %s", info.Name, cfg.Name)
-
-	dev := device.New()
+// newPipeline builds the pipeline of one cell, applying the runner's sync
+// parallelism.
+func (r *Runner) newPipeline(dev *device.Device, cfg Config, lossless, lossy compress.Codec) (*pipeline.Pipeline, error) {
 	pl, err := pipeline.New(dev, cfg.MAG, lossless, lossy)
 	if err != nil {
-		return RunResult{}, err
+		return nil, err
 	}
-	rec := trace.NewRecorder(pl.BurstsFor)
-	out, err := w.Run(workloads.NewCtx(dev, rec, pl.Sync))
-	if err != nil {
-		return RunResult{}, fmt.Errorf("%s × %s: %w", info.Name, cfg.Name, err)
-	}
-	errFrac, err := metrics.Eval(info.Metric, golden, out)
-	if err != nil {
-		return RunResult{}, err
-	}
-	tr := rec.Trace()
-	simRes, err := sim.Run(tr, SimConfig(cfg))
-	if err != nil {
-		return RunResult{}, err
-	}
-	energy, err := power.Compute(simRes, power.Default())
-	if err != nil {
-		return RunResult{}, err
-	}
-	res := RunResult{
-		Workload:  info.Name,
-		Config:    cfg,
-		ErrorFrac: errFrac,
-		Sim:       simRes,
-		Energy:    energy,
-		Comp:      pl.Stats(),
-		Trace:     tr.Stats(cfg.MAG),
-	}
-	r.results[key] = res
-	return res, nil
+	pl.SetWorkers(r.SyncWorkers)
+	return pl, nil
+}
+
+// Run executes one evaluation cell (memoised; concurrent calls for the same
+// cell compute once).
+func (r *Runner) Run(w workloads.Workload, cfg Config) (RunResult, error) {
+	info := w.Info()
+	key := cellKey(info.Name, cfg)
+	return r.results.do(key, func() (RunResult, error) {
+		golden, err := r.Golden(w)
+		if err != nil {
+			return RunResult{}, err
+		}
+		lossless, lossy, err := r.codecs(w, cfg)
+		if err != nil {
+			return RunResult{}, err
+		}
+		r.progress("run: %s × %s", info.Name, cfg.Name)
+
+		dev := device.New()
+		pl, err := r.newPipeline(dev, cfg, lossless, lossy)
+		if err != nil {
+			return RunResult{}, err
+		}
+		rec := trace.NewRecorder(pl.BurstsFor)
+		out, err := w.Run(workloads.NewCtx(dev, rec, pl.Sync))
+		if err != nil {
+			return RunResult{}, fmt.Errorf("%s × %s: %w", info.Name, cfg.Name, err)
+		}
+		errFrac, err := metrics.Eval(info.Metric, golden, out)
+		if err != nil {
+			return RunResult{}, err
+		}
+		tr := rec.Trace()
+		simRes, err := sim.Run(tr, SimConfig(cfg))
+		if err != nil {
+			return RunResult{}, err
+		}
+		energy, err := power.Compute(simRes, power.Default())
+		if err != nil {
+			return RunResult{}, err
+		}
+		return RunResult{
+			Workload:  info.Name,
+			Config:    cfg,
+			ErrorFrac: errFrac,
+			Sim:       simRes,
+			Energy:    energy,
+			Comp:      pl.Stats(),
+			Trace:     tr.Stats(cfg.MAG),
+		}, nil
+	})
 }
 
 // CompressionOnly runs the workload under a configuration without the timing
 // simulation — enough for Figures 1 and 2.
 func (r *Runner) CompressionOnly(w workloads.Workload, cfg Config) (pipeline.Stats, error) {
 	info := w.Info()
-	key := info.Name + "|" + cfg.Name + "|comp"
-	if res, ok := r.results[key]; ok {
-		return res.Comp, nil
+	key := cellKey(info.Name, cfg) + "|comp"
+	res, err := r.results.do(key, func() (RunResult, error) {
+		lossless, lossy, err := r.codecs(w, cfg)
+		if err != nil {
+			return RunResult{}, err
+		}
+		r.progress("compress: %s × %s", info.Name, cfg.Name)
+		dev := device.New()
+		pl, err := r.newPipeline(dev, cfg, lossless, lossy)
+		if err != nil {
+			return RunResult{}, err
+		}
+		if _, err := w.Run(workloads.NewCtx(dev, nil, pl.Sync)); err != nil {
+			return RunResult{}, fmt.Errorf("%s × %s: %w", info.Name, cfg.Name, err)
+		}
+		return RunResult{Workload: info.Name, Config: cfg, Comp: pl.Stats()}, nil
+	})
+	return res.Comp, err
+}
+
+// Cell is one entry of an evaluation matrix: a workload under a
+// configuration.
+type Cell struct {
+	Workload workloads.Workload
+	Config   Config
+}
+
+// Workers resolves a worker-count knob: non-positive values (the cmd
+// binaries' "-parallel 0") select one worker per core. RunAll, Runner
+// SyncWorkers consumers and the cmd/ flags all share this policy.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
 	}
-	lossless, lossy, err := r.codecs(w, cfg)
-	if err != nil {
-		return pipeline.Stats{}, err
+	return n
+}
+
+// RunAll executes the cells across a worker pool and returns their results
+// in input order. workers ≤ 0 selects GOMAXPROCS. Memoisation makes every
+// result identical to what serial Run calls would produce; cells sharing a
+// golden run or entropy table compute it once. All failing cells contribute
+// to the joined error; successful cells still return results.
+func (r *Runner) RunAll(cells []Cell, workers int) ([]RunResult, error) {
+	results := make([]RunResult, len(cells))
+	errs := make([]error, len(cells))
+	r.forEachCell(workers, func(i int) error {
+		res, err := r.Run(cells[i].Workload, cells[i].Config)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	}, cells, errs)
+	return results, errors.Join(errs...)
+}
+
+// CompressAll executes compression-only cells (the Figure 1/2 sweep) across
+// a worker pool, warming the CompressionOnly memo. workers ≤ 0 selects
+// GOMAXPROCS.
+func (r *Runner) CompressAll(cells []Cell, workers int) error {
+	errs := make([]error, len(cells))
+	r.forEachCell(workers, func(i int) error {
+		_, err := r.CompressionOnly(cells[i].Workload, cells[i].Config)
+		return err
+	}, cells, errs)
+	return errors.Join(errs...)
+}
+
+// forEachCell fans cell indices across a worker pool. A cell that fails —
+// or panics, e.g. a codec bug tripping the pipeline's round-trip invariant —
+// records into errs[i] rather than killing the process, so the other cells'
+// results survive; serial callers of Run still see panics directly.
+func (r *Runner) forEachCell(workers int, fn func(int) error, cells []Cell, errs []error) {
+	workers = Workers(workers)
+	if workers > len(cells) {
+		workers = len(cells)
 	}
-	r.progress("compress: %s × %s", info.Name, cfg.Name)
-	dev := device.New()
-	pl, err := pipeline.New(dev, cfg.MAG, lossless, lossy)
-	if err != nil {
-		return pipeline.Stats{}, err
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				func() {
+					defer func() {
+						if v := recover(); v != nil {
+							errs[i] = fmt.Errorf("cell %d (%s × %s): panic: %v",
+								i, cells[i].Workload.Info().Name, cells[i].Config.Name, v)
+						}
+					}()
+					if err := fn(i); err != nil {
+						errs[i] = fmt.Errorf("cell %d (%s × %s): %w",
+							i, cells[i].Workload.Info().Name, cells[i].Config.Name, err)
+					}
+				}()
+			}
+		}()
 	}
-	if _, err := w.Run(workloads.NewCtx(dev, nil, pl.Sync)); err != nil {
-		return pipeline.Stats{}, fmt.Errorf("%s × %s: %w", info.Name, cfg.Name, err)
+	for i := range cells {
+		next <- i
 	}
-	r.results[key] = RunResult{Workload: info.Name, Config: cfg, Comp: pl.Stats()}
-	return pl.Stats(), nil
+	close(next)
+	wg.Wait()
+}
+
+// CellsForFigure returns the cells one figure renders — full-run cells to
+// warm with RunAll and compression-only cells to warm with CompressAll.
+// Keep this in sync when adding a figure, so `slcbench -fig N -parallel`
+// keeps covering it. Unknown figures return nothing.
+func CellsForFigure(fig int) (full, comp []Cell) {
+	switch fig {
+	case 1, 2:
+		comp = CompressionCells(compress.MAG32)
+	case 7, 8:
+		full = Fig7Cells()
+	case 9:
+		full = Fig9Cells()
+	}
+	return full, comp
+}
+
+// CompressionCells returns the compression-only cells of Figures 1 and 2:
+// every workload under each Figure 1 codec at the given MAG (Figure 2 reads
+// the E2MC cells). Warm them with CompressAll.
+func CompressionCells(mag compress.MAG) []Cell {
+	var cells []Cell
+	for _, w := range workloads.Registry() {
+		for _, c := range Fig1Codecs {
+			cells = append(cells, Cell{w, BaselineConfig(c.Codec, mag)})
+		}
+	}
+	return cells
+}
+
+// Fig7Cells returns the full-run cells behind Figures 7 and 8: every
+// workload × (the E2MC baseline and the three TSLC variants) at 32 B MAG
+// with the default threshold. Prefetching these with RunAll warms the
+// runner's memo, so a subsequent Figure7/Figure8 renders from cache.
+func Fig7Cells() []Cell {
+	var cells []Cell
+	for _, w := range workloads.Registry() {
+		cells = append(cells, Cell{w, E2MCConfig(compress.MAG32)})
+		for _, v := range Fig7Variants {
+			cells = append(cells, Cell{w, TSLCConfig(v, compress.MAG32, DefaultThresholdBits)})
+		}
+	}
+	return cells
+}
+
+// Fig9Cells returns the MAG-sensitivity cells of Figure 9: E2MC and
+// TSLC-OPT at 16, 32 and 64 B MAG for every workload.
+func Fig9Cells() []Cell {
+	var cells []Cell
+	for _, w := range workloads.Registry() {
+		for _, mag := range []compress.MAG{compress.MAG16, compress.MAG32, compress.MAG64} {
+			cells = append(cells, Cell{w, E2MCConfig(mag)})
+			cells = append(cells, Cell{w, TSLCConfig(slc.OPT, mag, mag.Bits()/2)})
+		}
+	}
+	return cells
+}
+
+// AblationCells returns the cells RunAblations executes: the threshold
+// sweep over every workload plus the PRED/SIMP comparison cells.
+func AblationCells() []Cell {
+	var cells []Cell
+	for _, w := range workloads.Registry() {
+		cells = append(cells, Cell{w, E2MCConfig(compress.MAG32)})
+		for _, tb := range []int{4, 8, 16, 24, 32} {
+			cells = append(cells, Cell{w, TSLCConfig(slc.OPT, compress.MAG32, tb*8)})
+		}
+	}
+	// The extra-node ablation needs PRED on DCT; the prediction-policy
+	// ablation needs SIMP and PRED on NN (OPT@t16B is in the sweep above).
+	if dct, err := workloads.ByName("DCT"); err == nil {
+		cells = append(cells, Cell{dct, TSLCConfig(slc.PRED, compress.MAG32, DefaultThresholdBits)})
+	}
+	if nn, err := workloads.ByName("NN"); err == nil {
+		cells = append(cells, Cell{nn, TSLCConfig(slc.SIMP, compress.MAG32, DefaultThresholdBits)})
+		cells = append(cells, Cell{nn, TSLCConfig(slc.PRED, compress.MAG32, DefaultThresholdBits)})
+	}
+	return cells
+}
+
+// EvaluationCells returns the union of every full-run cell the report
+// executes (Figures 7, 8, 9 and the ablations), deduplicated by cell key.
+func EvaluationCells() []Cell {
+	var cells []Cell
+	seen := make(map[string]bool)
+	for _, c := range append(append(Fig7Cells(), Fig9Cells()...), AblationCells()...) {
+		key := cellKey(c.Workload.Info().Name, c.Config)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		cells = append(cells, c)
+	}
+	return cells
 }
 
 // RunnerCodecs exposes the runner's codec construction (including table
@@ -321,7 +552,7 @@ func RerunTiming(r *Runner, w workloads.Workload, cfg Config, mod func(*sim.Conf
 		return sim.Result{}, err
 	}
 	dev := device.New()
-	pl, err := pipeline.New(dev, cfg.MAG, lossless, lossy)
+	pl, err := r.newPipeline(dev, cfg, lossless, lossy)
 	if err != nil {
 		return sim.Result{}, err
 	}

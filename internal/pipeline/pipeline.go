@@ -9,6 +9,7 @@ package pipeline
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/compress"
 	"repro/internal/gpu/device"
@@ -29,6 +30,19 @@ type Stats struct {
 	RawBits      int64 // Σ compressed bits, no MAG (raw ratio basis)
 	EffBits      int64 // Σ burst-aligned bits (effective ratio basis)
 	AboveMAG     []int64
+}
+
+// add merges another shard into s. All fields are sums (and AboveMAG a
+// vector of sums), so the merged result is independent of shard order.
+func (s *Stats) add(o Stats) {
+	s.Blocks += o.Blocks
+	s.LossyBlocks += o.LossyBlocks
+	s.Uncompressed += o.Uncompressed
+	s.RawBits += o.RawBits
+	s.EffBits += o.EffBits
+	for i, v := range o.AboveMAG {
+		s.AboveMAG[i] += v
+	}
 }
 
 // RawRatio returns the raw compression ratio over all compressions.
@@ -64,6 +78,10 @@ type Pipeline struct {
 	blocks       map[uint64]BlockInfo
 	stats        Stats
 	scratch      []byte
+	// workers is the Sync fan-out: how many goroutines compress the blocks
+	// of one region. 1 means serial. addrbuf is the reused address batch.
+	workers int
+	addrbuf []uint64
 }
 
 // New builds a pipeline. lossless may be nil (uncompressed baseline); lossy
@@ -80,7 +98,21 @@ func New(dev *device.Device, mag compress.MAG, lossless, lossy compress.Codec) (
 		blocks:   make(map[uint64]BlockInfo),
 		stats:    Stats{AboveMAG: make([]int64, int(mag)+1)},
 		scratch:  make([]byte, compress.BlockSize),
+		workers:  1,
 	}, nil
+}
+
+// SetWorkers sets how many goroutines Sync uses to compress the blocks of a
+// region. Values below 1 select serial execution. Blocks are independent
+// (each owns its 128 bytes of device memory) and all statistics are sums, so
+// results are identical to serial execution for any worker count; the codecs
+// must be safe for concurrent Compress/Decompress (all codecs in this
+// repository are).
+func (p *Pipeline) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.workers = n
 }
 
 // SetLossyFactory installs per-threshold codec construction. With a factory
@@ -122,32 +154,114 @@ func (p *Pipeline) Sync(r device.Region) {
 		})
 		return
 	}
-	r.BlockAddrs(func(addr uint64) {
-		block, err := p.dev.Block(addr)
-		if err != nil {
-			panic(fmt.Sprintf("pipeline: sync %s: %v", r.Name, err))
+	if p.workers <= 1 {
+		r.BlockAddrs(func(addr uint64) {
+			p.blocks[addr] = p.compressBlock(codec, r, addr, p.scratch, &p.stats)
+		})
+		return
+	}
+	p.syncParallel(codec, r)
+}
+
+// compressBlock pushes one block through the codec: it compresses, applies
+// the lossy write-back to device memory, and accumulates st. Serial and
+// parallel Sync share it so their per-block behaviour stays identical.
+func (p *Pipeline) compressBlock(codec compress.Codec, r device.Region, addr uint64, scratch []byte, st *Stats) BlockInfo {
+	block, err := p.dev.Block(addr)
+	if err != nil {
+		panic(fmt.Sprintf("pipeline: sync %s: %v", r.Name, err))
+	}
+	enc := codec.Compress(block)
+	if enc.Lossy {
+		if err := codec.Decompress(enc, scratch); err != nil {
+			panic(fmt.Sprintf("pipeline: lossy round trip %s@%#x: %v", r.Name, addr, err))
 		}
-		enc := codec.Compress(block)
-		if enc.Lossy {
-			if err := codec.Decompress(enc, p.scratch); err != nil {
-				panic(fmt.Sprintf("pipeline: lossy round trip %s@%#x: %v", r.Name, addr, err))
+		copy(block, scratch)
+		st.LossyBlocks++
+	}
+	info := BlockInfo{
+		Bursts:     uint8(p.mag.Bursts(enc.Bits)),
+		Compressed: enc.Bits < compress.BlockBits,
+	}
+	st.Blocks++
+	if !info.Compressed {
+		st.Uncompressed++
+	}
+	st.RawBits += int64(enc.Bits)
+	st.EffBits += int64(p.mag.EffectiveBits(enc.Bits))
+	st.AboveMAG[p.mag.BytesAboveMAG(enc.Bits)]++
+	return info
+}
+
+// syncEntry is one worker-produced block record, merged after the barrier.
+type syncEntry struct {
+	addr uint64
+	info BlockInfo
+}
+
+// syncShard is the private state of one Sync worker: its own Stats (with its
+// own AboveMAG histogram) and block records, merged deterministically once
+// all workers finish.
+type syncShard struct {
+	stats   Stats
+	entries []syncEntry
+	panicV  interface{}
+}
+
+// syncParallel fans the region's blocks across the worker pool. Each worker
+// owns a contiguous address range, a scratch buffer and a Stats shard; the
+// merge after the barrier walks shards in index order, and since every
+// statistic is a sum (and block addresses are distinct), the result is
+// bitwise identical to serial execution.
+func (p *Pipeline) syncParallel(codec compress.Codec, r device.Region) {
+	addrs := p.addrbuf[:0]
+	r.BlockAddrs(func(addr uint64) { addrs = append(addrs, addr) })
+	p.addrbuf = addrs
+
+	workers := p.workers
+	if workers > len(addrs) {
+		workers = len(addrs)
+	}
+	if workers == 0 {
+		return
+	}
+	chunk := (len(addrs) + workers - 1) / workers
+	shards := make([]syncShard, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		lo := wi * chunk
+		hi := lo + chunk
+		if hi > len(addrs) {
+			hi = len(addrs)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *syncShard, span []uint64) {
+			defer wg.Done()
+			defer func() { sh.panicV = recover() }()
+			sh.stats.AboveMAG = make([]int64, int(p.mag)+1)
+			sh.entries = make([]syncEntry, 0, len(span))
+			scratch := make([]byte, compress.BlockSize)
+			for _, addr := range span {
+				info := p.compressBlock(codec, r, addr, scratch, &sh.stats)
+				sh.entries = append(sh.entries, syncEntry{addr, info})
 			}
-			copy(block, p.scratch)
-			p.stats.LossyBlocks++
+		}(&shards[wi], addrs[lo:hi])
+	}
+	wg.Wait()
+	for i := range shards {
+		if v := shards[i].panicV; v != nil {
+			panic(v)
 		}
-		info := BlockInfo{
-			Bursts:     uint8(p.mag.Bursts(enc.Bits)),
-			Compressed: enc.Bits < compress.BlockBits,
+	}
+	for i := range shards {
+		p.stats.add(shards[i].stats)
+		for _, e := range shards[i].entries {
+			p.blocks[e.addr] = e.info
 		}
-		p.blocks[addr] = info
-		p.stats.Blocks++
-		if !info.Compressed {
-			p.stats.Uncompressed++
-		}
-		p.stats.RawBits += int64(enc.Bits)
-		p.stats.EffBits += int64(p.mag.EffectiveBits(enc.Bits))
-		p.stats.AboveMAG[p.mag.BytesAboveMAG(enc.Bits)]++
-	})
+	}
 }
 
 // BurstsFor implements the trace recorder's lookup: burst count and

@@ -206,6 +206,89 @@ func TestResyncUpdatesBursts(t *testing.T) {
 	}
 }
 
+// buildSLCPipeline constructs a device with one approximable region of
+// quantised floats and an SLC pipeline over it.
+func buildSLCPipeline(t *testing.T, seed int64) (*device.Device, device.Region, *Pipeline) {
+	t.Helper()
+	dev := device.New()
+	r, _ := dev.Malloc("x", 256*1024, true, 16)
+	fill(t, dev, r, seed)
+	tab := trainTable(t, dev, r)
+	lossy, err := slc.New(tab, slc.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(dev, compress.MAG32, e2mc.New(tab), lossy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, r, p
+}
+
+// TestParallelSyncMatchesSerial pins the contract of SetWorkers: any worker
+// count produces bitwise-identical state — statistics, per-block geometry
+// and the lossily mutated device image — including across repeated Syncs,
+// where the §V-A write-back feedback loop makes later decisions depend on
+// earlier mutations.
+func TestParallelSyncMatchesSerial(t *testing.T) {
+	devS, rS, ps := buildSLCPipeline(t, 21)
+	for _, workers := range []int{2, 3, 8, 64} {
+		devP, rP, pp := buildSLCPipeline(t, 21)
+		pp.SetWorkers(workers)
+		for round := 0; round < 3; round++ {
+			if workers == 2 { // advance the serial reference once per round
+				ps.Sync(rS)
+			}
+			pp.Sync(rP)
+		}
+		_ = devS
+		if got, want := pp.Stats(), ps.Stats(); got.Blocks != want.Blocks ||
+			got.LossyBlocks != want.LossyBlocks ||
+			got.Uncompressed != want.Uncompressed ||
+			got.RawBits != want.RawBits || got.EffBits != want.EffBits {
+			t.Fatalf("workers=%d stats diverge: %+v vs serial %+v", workers, got, want)
+		}
+		for i, v := range pp.Stats().AboveMAG {
+			if v != ps.Stats().AboveMAG[i] {
+				t.Fatalf("workers=%d AboveMAG[%d] = %d, serial %d", workers, i, v, ps.Stats().AboveMAG[i])
+			}
+		}
+		rS.BlockAddrs(func(addr uint64) {
+			bs, cs := ps.BurstsFor(addr)
+			bp, cp := pp.BurstsFor(addr)
+			if bs != bp || cs != cp {
+				t.Fatalf("workers=%d block %#x: parallel (%d,%v) vs serial (%d,%v)",
+					workers, addr, bp, cp, bs, cs)
+			}
+		})
+		ms, _ := devS.Bytes(rS.Addr, rS.Size)
+		mp, _ := devP.Bytes(rP.Addr, rP.Size)
+		for i := range ms {
+			if ms[i] != mp[i] {
+				t.Fatalf("workers=%d device memory diverges at byte %d", workers, i)
+			}
+		}
+	}
+}
+
+// TestParallelSyncSmallRegion exercises the degenerate fan-outs: more
+// workers than blocks, and a single-block region.
+func TestParallelSyncSmallRegion(t *testing.T) {
+	dev := device.New()
+	r, _ := dev.Malloc("x", compress.BlockSize, true, 16)
+	fill(t, dev, r, 9)
+	tab := trainTable(t, dev, r)
+	p, err := New(dev, compress.MAG32, e2mc.New(tab), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetWorkers(16)
+	p.Sync(r)
+	if got := p.Stats().Blocks; got != 1 {
+		t.Errorf("synced %d blocks, want 1", got)
+	}
+}
+
 func TestInvalidMAG(t *testing.T) {
 	if _, err := New(device.New(), 24, nil, nil); err == nil {
 		t.Error("invalid MAG accepted")

@@ -1,0 +1,40 @@
+package slc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/compress"
+	"repro/internal/compress/e2mc"
+)
+
+// RegistryName returns the registry name of a TSLC variant ("tslc-opt" for
+// OPT): the lowercase form of the variant's display name.
+func RegistryName(v Variant) string { return strings.ToLower(v.String()) }
+
+func init() {
+	for _, v := range []Variant{SIMP, PRED, OPT} {
+		v := v
+		compress.Register(RegistryName(v), compress.Info{
+			New: func(ctx compress.BuildContext) (compress.Codec, error) {
+				tab, ok := ctx.Table.(*e2mc.Table)
+				if !ok || tab == nil {
+					return nil, fmt.Errorf("slc: build context carries no trained table (got %T)", ctx.Table)
+				}
+				cfg := Config{MAG: ctx.MAG, ThresholdBits: ctx.ThresholdBits, Variant: v}
+				if cfg.MAG == 0 {
+					cfg.MAG = compress.MAG32
+				}
+				if cfg.ThresholdBits == 0 {
+					cfg.ThresholdBits = DefaultConfig().ThresholdBits
+				}
+				return New(tab, cfg)
+			},
+			NeedsTable:       true,
+			Lossy:            true,
+			Base:             "e2mc",
+			CompressCycles:   CompressCycles,
+			DecompressCycles: DecompressCycles,
+		})
+	}
+}

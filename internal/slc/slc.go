@@ -11,6 +11,7 @@ package slc
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/compress"
 	"repro/internal/compress/e2mc"
@@ -134,10 +135,14 @@ type DecisionStats struct {
 
 // Codec applies SLC on top of a trained E2MC table. It implements
 // compress.Codec; Compress is lossy whenever the decision selects ModeLossy.
+// Compress and Decompress are safe for concurrent use (the parallel pipeline
+// fans blocks of one region across goroutines sharing one codec): the table
+// is read-only and the decision statistics are guarded.
 type Codec struct {
-	tab   *e2mc.Table
-	cfg   Config
-	stats DecisionStats
+	tab     *e2mc.Table
+	cfg     Config
+	statsMu sync.Mutex
+	stats   DecisionStats
 }
 
 // New returns an SLC codec. The table must come from e2mc.Trainer; cfg.MAG
@@ -183,7 +188,11 @@ func wayOf(start, count int) int {
 
 // Stats returns the accumulated decision statistics (updated by Compress,
 // not by Decide).
-func (c *Codec) Stats() DecisionStats { return c.stats }
+func (c *Codec) Stats() DecisionStats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats
+}
 
 // Decide runs the SLC mode decision for one block without compressing it.
 func (c *Codec) Decide(block []byte) Decision {
@@ -193,6 +202,8 @@ func (c *Codec) Decide(block []byte) Decision {
 
 // record accumulates one Compress decision.
 func (c *Codec) record(d Decision) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
 	switch d.Mode {
 	case ModeUncompressed:
 		c.stats.Uncompressed++
