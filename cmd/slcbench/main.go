@@ -6,14 +6,20 @@
 //	slcbench -all -parallel 0     # same, fanned across all cores
 //	slcbench -fig 7               # one figure (1, 2, 7, 8, 9)
 //	slcbench -table 1             # one table (1, 2, 3)
+//	slcbench -fig 7 -json         # machine-readable cell results
 //	slcbench -all -out report.txt -v
 //
 // -parallel N executes the evaluation matrix on N workers (0 = all cores)
 // before rendering; the figures then read the memoised results, so the
-// output is identical to a serial run.
+// output is identical to a serial run. -simworkers N additionally shards
+// each cell's timing simulation across N event lanes (0 = all cores) with
+// bitwise-identical results. -json replaces the text report with a JSON
+// dump of every executed cell — the format the bench trajectory is
+// recorded in.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +29,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/experiments"
 	"repro/internal/gpu/sim"
+	"repro/internal/pipeline"
 )
 
 func main() {
@@ -35,6 +42,8 @@ func main() {
 		ablations = flag.Bool("ablations", false, "run the ablation study")
 		out       = flag.String("out", "", "write output to this file instead of stdout")
 		parallel  = flag.Int("parallel", 1, "evaluation workers (0 = all cores, 1 = serial)")
+		simw      = flag.Int("simworkers", 1, "worker goroutines per sharded timing simulation (0 = all cores, 1 = serial engine)")
+		asJSON    = flag.Bool("json", false, "emit the executed cells as JSON instead of the text report (-all, -fig, -ablations)")
 		verbose   = flag.Bool("v", false, "log per-run progress to stderr")
 	)
 	flag.Parse()
@@ -49,25 +58,35 @@ func main() {
 		w = f
 	}
 	r := experiments.NewRunner()
+	r.SimWorkers = experiments.Workers(*simw)
 	if *verbose {
 		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ..", s) }
 	}
-	// Warm the runner's memo across a worker pool with exactly the cells
-	// the selected target renders; the output below then reads memoised
-	// results and is byte-identical to a serial run. (-table targets render
-	// static configuration tables; there is nothing to parallelise.)
-	if *parallel != 1 {
-		var full []experiments.Cell
-		var comp []experiments.Cell
-		switch {
-		case *all:
-			full = experiments.EvaluationCells()
-			comp = experiments.CompressionCells(compress.MAG32)
-		case *ablations:
-			full = experiments.AblationCells()
-		case *fig != 0:
-			full, comp = experiments.CellsForFigure(*fig)
+	// The cells the selected target renders: full runs (timing + error) and
+	// compression-only sweeps.
+	var full, comp []experiments.Cell
+	var target string
+	switch {
+	case *all:
+		target = "all"
+		full = experiments.EvaluationCells()
+		comp = experiments.CompressionCells(compress.MAG32)
+	case *ablations:
+		target = "ablations"
+		full = experiments.AblationCells()
+	case *fig != 0:
+		target = fmt.Sprintf("fig%d", *fig)
+		full, comp = experiments.CellsForFigure(*fig)
+		if len(full)+len(comp) == 0 {
+			log.Fatalf("unknown figure %d (have 1, 2, 7, 8, 9)", *fig)
 		}
+	}
+
+	// Warm the runner's memo across a worker pool; the output below then
+	// reads memoised results and is byte-identical to a serial run.
+	// (-table targets render static configuration tables; there is nothing
+	// to parallelise.)
+	if *parallel != 1 || *asJSON {
 		if len(full) > 0 {
 			if _, err := r.RunAll(full, *parallel); err != nil {
 				log.Fatal(err)
@@ -78,6 +97,16 @@ func main() {
 				log.Fatal(err)
 			}
 		}
+	}
+
+	if *asJSON {
+		if target == "" {
+			log.Fatal("-json needs -all, -fig or -ablations")
+		}
+		if err := emitJSON(w, r, target, full, comp); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	switch {
@@ -110,6 +139,47 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// compressionResult is one compression-only cell in the JSON output.
+type compressionResult struct {
+	Workload string
+	Config   experiments.Config
+	Comp     pipeline.Stats
+}
+
+// jsonOutput is the -json schema: every executed cell of the target, in
+// cell order, with the full measurement per cell.
+type jsonOutput struct {
+	Target      string
+	Results     []experiments.RunResult `json:",omitempty"`
+	Compression []compressionResult     `json:",omitempty"`
+}
+
+// emitJSON re-reads the memoised cells (warmed above) and writes them out.
+func emitJSON(w io.Writer, r *experiments.Runner, target string, full, comp []experiments.Cell) error {
+	o := jsonOutput{Target: target}
+	for _, c := range full {
+		res, err := r.Run(c.Workload, c.Config)
+		if err != nil {
+			return err
+		}
+		o.Results = append(o.Results, res)
+	}
+	for _, c := range comp {
+		st, err := r.CompressionOnly(c.Workload, c.Config)
+		if err != nil {
+			return err
+		}
+		o.Compression = append(o.Compression, compressionResult{
+			Workload: c.Workload.Info().Name,
+			Config:   c.Config,
+			Comp:     st,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(o)
 }
 
 func runFigure(w io.Writer, r *experiments.Runner, fig int) error {

@@ -34,6 +34,7 @@ func main() {
 		magBytes  = flag.Int("mag", 32, "memory access granularity in bytes (16, 32, 64)")
 		threshold = flag.Int("threshold", 16, "lossy threshold in bytes (lossy codecs only)")
 		parallel  = flag.Int("parallel", 1, "worker goroutines for block compression (0 = all cores)")
+		simw      = flag.Int("simworkers", 1, "worker goroutines for the sharded timing simulator (0 = all cores, 1 = serial engine); results are identical either way")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		listCodec = flag.Bool("list-codecs", false, "list registered codecs and exit")
 		verbose   = flag.Bool("v", false, "log progress")
@@ -66,6 +67,7 @@ func main() {
 	}
 	r := experiments.NewRunner()
 	r.SyncWorkers = experiments.Workers(*parallel)
+	r.SimWorkers = experiments.Workers(*simw)
 	if *verbose {
 		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ..", s) }
 	}
@@ -87,8 +89,9 @@ func print(res, base experiments.RunResult) {
 		res.Comp.Blocks, res.Comp.LossyBlocks, res.Comp.Uncompressed)
 	fmt.Printf("  error: %.4f%%\n", res.ErrorFrac*100)
 	fmt.Printf("  time: %.1f µs (%.0f SM cycles)\n", res.Sim.TimeNs/1e3, res.Sim.SMCycles)
-	fmt.Printf("  traffic: %d bursts, %.2f MB (row hits %d / misses %d)\n",
-		res.Sim.DramBursts, float64(res.Sim.DramBytes)/1e6, res.Sim.RowHits, res.Sim.RowMisses)
+	fmt.Printf("  traffic: %d bursts (%d metadata), %.2f MB data (row hits %d / misses %d)\n",
+		res.Sim.DramBursts, res.Sim.DramMetaBursts,
+		float64(res.Sim.DramBytes)/1e6, res.Sim.RowHits, res.Sim.RowMisses)
 	fmt.Printf("  L2: %d hits, %d misses, %d writebacks; MDC: %d hits, %d misses\n",
 		res.Sim.L2.Hits, res.Sim.L2.Misses, res.Sim.L2.Writebacks,
 		res.Sim.MC.MDCHits, res.Sim.MC.MDCMisses)

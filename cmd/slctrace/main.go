@@ -7,10 +7,13 @@
 //	slctrace -bench SRAD1
 //	slctrace -bench BS -mag 64
 //	slctrace -bench NN -codec bdi -parallel 0
+//	slctrace -bench DCT -sim -simworkers 0
 //
 // The codec is selected by its registry name and validated against
 // compress.Names; lossy codecs (tslc-*) trace their lossless base on exact
-// regions as the runner does.
+// regions as the runner does. -sim additionally replays the recorded trace
+// through the timing simulator; -simworkers shards the replay across event
+// lanes (results are identical to the serial engine).
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/experiments"
 	"repro/internal/gpu/device"
+	"repro/internal/gpu/sim"
 	"repro/internal/gpu/trace"
 	"repro/internal/pipeline"
 	"repro/internal/workloads"
@@ -36,6 +40,8 @@ func main() {
 		magBytes  = flag.Int("mag", 32, "memory access granularity in bytes")
 		threshold = flag.Int("threshold", 16, "lossy threshold in bytes (lossy codecs only)")
 		parallel  = flag.Int("parallel", 1, "worker goroutines for block compression (0 = all cores)")
+		simulate  = flag.Bool("sim", false, "also replay the trace through the timing simulator")
+		simw      = flag.Int("simworkers", 1, "worker goroutines for the sharded timing simulator (0 = all cores, 1 = serial engine)")
 	)
 	flag.Parse()
 	if *bench == "" {
@@ -102,4 +108,16 @@ func main() {
 		fmt.Printf("  %2dB %7d blocks (%5.1f%%)\n", x, cnt, pct)
 	}
 	fmt.Printf("raw CR %.2f, effective CR %.2f\n", cs.RawRatio(), cs.EffectiveRatio())
+
+	if *simulate {
+		sc := experiments.SimConfig(cfg)
+		sc.Workers = experiments.Workers(*simw)
+		res, err := sim.Run(tr, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntiming replay: %.1f µs, %d bursts (%d metadata), %.2f MB data\n",
+			res.TimeNs/1e3, res.DramBursts, res.DramMetaBursts,
+			float64(res.DramBytes)/1e6)
+	}
 }

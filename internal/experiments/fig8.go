@@ -44,6 +44,9 @@ func Figure8(r *Runner) (Fig8, error) {
 			if err != nil {
 				return Fig8{}, err
 			}
+			// DramBytes is data traffic only (metadata bursts are split
+			// into DramMetaBursts), so this ratio is the saved payload
+			// bandwidth; MDC metadata overhead shows up in time and energy.
 			f.Bandwidth[v] = append(f.Bandwidth[v],
 				float64(res.Sim.DramBytes)/float64(base.Sim.DramBytes))
 			f.Energy[v] = append(f.Energy[v],

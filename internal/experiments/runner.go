@@ -160,6 +160,12 @@ type Runner struct {
 	// serial execution.
 	SyncWorkers int
 
+	// SimWorkers, when > 1, shards each timing simulation across that many
+	// goroutines (one event lane per DRAM channel plus the SM/L2
+	// coordinator; see sim.Config.Workers). Results are bitwise-identical
+	// to the serial engine, so memoised cells are unaffected.
+	SimWorkers int
+
 	progressMu sync.Mutex
 	// Progress, when set, receives one line per executed (non-memoised)
 	// run. It may be called from multiple goroutines; calls are serialised.
@@ -312,7 +318,9 @@ func (r *Runner) Run(w workloads.Workload, cfg Config) (RunResult, error) {
 			return RunResult{}, err
 		}
 		tr := rec.Trace()
-		simRes, err := sim.Run(tr, SimConfig(cfg))
+		sc := SimConfig(cfg)
+		sc.Workers = r.SimWorkers
+		simRes, err := sim.Run(tr, sc)
 		if err != nil {
 			return RunResult{}, err
 		}
@@ -561,6 +569,7 @@ func RerunTiming(r *Runner, w workloads.Workload, cfg Config, mod func(*sim.Conf
 		return sim.Result{}, err
 	}
 	sc := SimConfig(cfg)
+	sc.Workers = r.SimWorkers
 	if mod != nil {
 		mod(&sc)
 	}

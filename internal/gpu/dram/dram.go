@@ -66,10 +66,13 @@ func (c Config) PeakBandwidthGBs(magBytes int) float64 {
 	return float64(magBytes) / (float64(c.BurstCycles) * c.CycleNs()) // B/ns == GB/s
 }
 
-// Stats counts channel events.
+// Stats counts channel events. Bursts is every burst command on the data
+// bus; MetaBursts is the subset spent fetching compression metadata (MDC
+// miss fills), so data traffic is Bursts - MetaBursts.
 type Stats struct {
 	Requests    int
 	Bursts      int
+	MetaBursts  int
 	RowHits     int
 	RowMisses   int
 	Activations int
@@ -90,16 +93,18 @@ type request struct {
 	seq     int64
 	done    func(completionNs float64)
 	served  bool
+	meta    bool
 	bank    int
 	row     uint64
 }
 
-// Channel is one GDDR5 channel draining an FR-FCFS queue on the shared
-// event engine.
+// Channel is one GDDR5 channel draining an FR-FCFS queue on its event
+// scheduler — the shared queue in standalone use, or the channel's own lane
+// in the sharded simulator. All channel state is local to that scheduler.
 type Channel struct {
 	cfg      Config
 	cycleNs  float64
-	q        *events.Queue
+	q        events.Scheduler
 	banks    []bank
 	busFree  float64
 	byRow    map[uint64][]*request
@@ -111,8 +116,8 @@ type Channel struct {
 	stats    Stats
 }
 
-// NewChannel builds a channel on the given event engine.
-func NewChannel(cfg Config, q *events.Queue) (*Channel, error) {
+// NewChannel builds a channel on the given event scheduler.
+func NewChannel(cfg Config, q events.Scheduler) (*Channel, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -132,6 +137,17 @@ func NewChannel(cfg Config, q *events.Queue) (*Channel, error) {
 // Enqueue submits a request at the current simulation time; done (may be
 // nil for posted writes) is invoked at its completion time.
 func (ch *Channel) Enqueue(addr uint64, bursts int, done func(completionNs float64)) {
+	ch.enqueue(addr, bursts, false, done)
+}
+
+// EnqueueMeta submits a compression-metadata fetch. It is scheduled exactly
+// like a data request but accounted under Stats.MetaBursts, so data and
+// metadata traffic can be reported separately.
+func (ch *Channel) EnqueueMeta(addr uint64, bursts int, done func(completionNs float64)) {
+	ch.enqueue(addr, bursts, true, done)
+}
+
+func (ch *Channel) enqueue(addr uint64, bursts int, meta bool, done func(completionNs float64)) {
 	if bursts < 1 {
 		bursts = 1
 	}
@@ -142,6 +158,7 @@ func (ch *Channel) Enqueue(addr uint64, bursts int, done func(completionNs float
 		arrival: ch.q.Now(),
 		seq:     ch.seq,
 		done:    done,
+		meta:    meta,
 		bank:    int((addr / uint64(ch.cfg.RowBytes)) % uint64(ch.cfg.Banks)),
 	}
 	r.row = addr / uint64(ch.cfg.RowBytes) / uint64(ch.cfg.Banks)
@@ -159,9 +176,22 @@ func (ch *Channel) rowKey(bank int, row uint64) uint64 {
 	return row*uint64(ch.cfg.Banks) + uint64(bank)
 }
 
+// trimServed pops served requests off the head of a queue list, nil-ing the
+// vacated slots so the backing array stops retaining them. Advancing with a
+// bare lst[1:] would keep every served *request reachable from the array
+// head for as long as the list lives — unbounded memory on long traces.
+func trimServed(lst []*request) []*request {
+	for len(lst) > 0 && lst[0].served {
+		lst[0] = nil
+		lst = lst[1:]
+	}
+	return lst
+}
+
 // oldest returns the oldest pending request, compacting lazily.
 func (ch *Channel) oldest() *request {
 	for ch.fifoHead < len(ch.fifo) && ch.fifo[ch.fifoHead].served {
+		ch.fifo[ch.fifoHead] = nil
 		ch.fifoHead++
 	}
 	if ch.fifoHead >= len(ch.fifo) {
@@ -170,7 +200,11 @@ func (ch *Channel) oldest() *request {
 		return nil
 	}
 	if ch.fifoHead > 8192 {
-		ch.fifo = append(ch.fifo[:0], ch.fifo[ch.fifoHead:]...)
+		n := copy(ch.fifo, ch.fifo[ch.fifoHead:])
+		for i := n; i < len(ch.fifo); i++ {
+			ch.fifo[i] = nil
+		}
+		ch.fifo = ch.fifo[:n]
 		ch.fifoHead = 0
 	}
 	return ch.fifo[ch.fifoHead]
@@ -183,10 +217,7 @@ func (ch *Channel) peekRow(bankIdx int) *request {
 		return nil
 	}
 	key := ch.rowKey(bankIdx, b.row)
-	lst := ch.byRow[key]
-	for len(lst) > 0 && lst[0].served {
-		lst = lst[1:]
-	}
+	lst := trimServed(ch.byRow[key])
 	if len(lst) == 0 {
 		delete(ch.byRow, key)
 		return nil
@@ -197,10 +228,7 @@ func (ch *Channel) peekRow(bankIdx int) *request {
 
 // peekBank returns the oldest pending request for a bank.
 func (ch *Channel) peekBank(bankIdx int) *request {
-	lst := ch.byBank[bankIdx]
-	for len(lst) > 0 && lst[0].served {
-		lst = lst[1:]
-	}
+	lst := trimServed(ch.byBank[bankIdx])
 	ch.byBank[bankIdx] = lst
 	if len(lst) == 0 {
 		return nil
@@ -323,7 +351,23 @@ func (ch *Channel) drain() {
 
 	ch.stats.Requests++
 	ch.stats.Bursts += r.bursts
+	if r.meta {
+		ch.stats.MetaBursts += r.bursts
+	}
 	ch.stats.BusBusyNs += busTime
+
+	// Eagerly drop the served request from its queue lists (every pick
+	// returns the head unserved entry of its row and bank lists), deleting
+	// the row key once drained — so queue-internal memory tracks the live
+	// backlog instead of the whole trace history.
+	key := ch.rowKey(r.bank, r.row)
+	if lst := trimServed(ch.byRow[key]); len(lst) == 0 {
+		delete(ch.byRow, key)
+	} else {
+		ch.byRow[key] = lst
+	}
+	ch.byBank[r.bank] = trimServed(ch.byBank[r.bank])
+
 	if r.done != nil {
 		done := r.done
 		ch.q.At(busEnd, func() { done(busEnd) })

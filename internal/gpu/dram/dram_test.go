@@ -217,3 +217,66 @@ func TestAllRequestsCompleteUnderRandomLoad(t *testing.T) {
 		t.Fatalf("stats saw %d requests", st.Requests)
 	}
 }
+
+func TestMetaBurstsAccountedSeparately(t *testing.T) {
+	ch, q := newChan(t, DefaultConfig())
+	ch.Enqueue(0, 4, nil)
+	ch.EnqueueMeta(1<<40, 1, nil)
+	ch.Enqueue(128, 2, nil)
+	q.Run()
+	st := ch.Stats()
+	if st.Bursts != 7 {
+		t.Errorf("total bursts = %d, want 7", st.Bursts)
+	}
+	if st.MetaBursts != 1 {
+		t.Errorf("meta bursts = %d, want 1", st.MetaBursts)
+	}
+}
+
+// TestQueuesReleaseServedRequests is the regression test for the queue
+// memory-retention bug: peekRow/peekBank used to advance with lst = lst[1:],
+// leaving every served *request reachable from the slices' backing arrays
+// (and byRow keys alive) for the whole trace. After a long drain the
+// queue-internal structures must be empty and hold no request pointers.
+func TestQueuesReleaseServedRequests(t *testing.T) {
+	cfg := DefaultConfig()
+	ch, q := newChan(t, cfg)
+	served := 0
+	// Several waves over many rows and banks, drained to completion.
+	for wave := 0; wave < 8; wave++ {
+		for i := 0; i < 4096; i++ {
+			addr := uint64(wave*4096+i) * 128
+			ch.Enqueue(addr, i%4+1, func(float64) { served++ })
+		}
+		q.Run()
+	}
+	if served != 8*4096 {
+		t.Fatalf("served %d of %d", served, 8*4096)
+	}
+	if len(ch.byRow) != 0 {
+		t.Errorf("byRow retains %d row keys after full drain", len(ch.byRow))
+	}
+	for b, lst := range ch.byBank {
+		if len(lst) != 0 {
+			t.Errorf("byBank[%d] retains %d entries", b, len(lst))
+		}
+		// The backing array beyond len must not pin requests either.
+		full := lst[:cap(lst)]
+		for i, r := range full {
+			if r != nil {
+				t.Errorf("byBank[%d] backing slot %d still holds a request", b, i)
+				break
+			}
+		}
+	}
+	if n := len(ch.fifo) - ch.fifoHead; n != 0 {
+		t.Errorf("fifo retains %d live entries", n)
+	}
+	full := ch.fifo[:cap(ch.fifo)]
+	for i, r := range full {
+		if r != nil {
+			t.Errorf("fifo backing slot %d still holds a request", i)
+			break
+		}
+	}
+}

@@ -1,9 +1,34 @@
-// Package events is the deterministic discrete-event engine shared by the
-// timing simulator and the memory system: a time-ordered queue with
-// insertion-order tie-breaking, so identical inputs replay identically.
+// Package events is the deterministic discrete-event machinery shared by the
+// timing simulator and the memory system.
+//
+// Two engines live here. Queue is the original single-threaded time-ordered
+// queue with insertion-order tie-breaking, still used by components running
+// standalone (the dram unit tests). Engine is the sharded engine: a set of
+// Lanes, each a self-contained event queue that owns one component's state
+// (one DRAM channel, or the SM/L2 front-end), exchanging timestamped
+// cross-lane messages. Events are ordered by a (time, source lane, source
+// sequence) key that is independent of how execution is scheduled, so the
+// serial path (one worker draining all lanes in global key order) and the
+// parallel path (conservative time windows bounded by the minimum cross-lane
+// latency) replay identically, event for event.
 package events
 
-import "container/heap"
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Scheduler is the face a lane (or the legacy Queue) presents to the
+// components running on it: local time and local scheduling.
+type Scheduler interface {
+	// Now returns the current simulation time in nanoseconds.
+	Now() float64
+	// At schedules fn at time t on this scheduler; times before Now are
+	// clamped to Now.
+	At(t float64, fn func())
+}
 
 type event struct {
 	t   float64
@@ -26,6 +51,7 @@ func (h *eventHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
 	e := old[n-1]
+	old[n-1] = nil
 	*h = old[:n-1]
 	return e
 }
@@ -60,3 +86,275 @@ func (q *Queue) Run() {
 
 // Pending returns the number of scheduled events.
 func (q *Queue) Pending() int { return q.h.Len() }
+
+// laneEvent is one scheduled event on a lane. Ordering is by (t, src, seq):
+// src is the scheduling lane and seq its per-lane scheduling counter, so the
+// key depends only on the model's deterministic behaviour, never on how the
+// engine interleaved lanes in real time.
+type laneEvent struct {
+	t   float64
+	src int32
+	seq int64
+	fn  func()
+}
+
+func laneLess(a, b laneEvent) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+type laneHeap []laneEvent
+
+func (h laneHeap) Len() int            { return len(h) }
+func (h laneHeap) Less(i, j int) bool  { return laneLess(h[i], h[j]) }
+func (h laneHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *laneHeap) Push(x interface{}) { *h = append(*h, x.(laneEvent)) }
+func (h *laneHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1].fn = nil
+	*h = old[:n-1]
+	return e
+}
+
+type outMsg struct {
+	target *Lane
+	ev     laneEvent
+}
+
+// Lane is one event shard of an Engine. A lane owns the state of the
+// component running on it; its events execute strictly in key order on a
+// single goroutine at a time, so lane-local state needs no locking. Lanes
+// interact only through Send.
+type Lane struct {
+	id     int32
+	eng    *Engine
+	h      laneHeap
+	now    float64
+	genSeq int64
+	outbox []outMsg
+}
+
+// ID returns the lane's index within its engine.
+func (l *Lane) ID() int { return int(l.id) }
+
+// Now returns the lane's local simulation time.
+func (l *Lane) Now() float64 { return l.now }
+
+// At schedules fn on this lane; times before Now are clamped to Now. It may
+// be called only from the lane's own events, or between Engine.Run calls.
+func (l *Lane) At(t float64, fn func()) {
+	if t < l.now {
+		t = l.now
+	}
+	l.genSeq++
+	heap.Push(&l.h, laneEvent{t: t, src: l.id, seq: l.genSeq, fn: fn})
+}
+
+// Send schedules fn on the target lane at time t, from an event executing on
+// this lane. Cross-lane sends must respect the engine's lookahead: t must be
+// at least the sending lane's Now plus the lookahead, which is what lets the
+// parallel engine run lanes concurrently inside a time window without ever
+// delivering a message into a lane's past. Sending to the own lane is a
+// plain At with no latency constraint.
+func (l *Lane) Send(to *Lane, t float64, fn func()) {
+	if to == l {
+		l.At(t, fn)
+		return
+	}
+	if t < l.now+l.eng.lookahead {
+		panic(fmt.Sprintf("events: lookahead violation: lane %d at %g sends to lane %d at %g (lookahead %g)",
+			l.id, l.now, to.id, t, l.eng.lookahead))
+	}
+	l.genSeq++
+	ev := laneEvent{t: t, src: l.id, seq: l.genSeq, fn: fn}
+	if l.eng.parallel {
+		l.outbox = append(l.outbox, outMsg{target: to, ev: ev})
+		return
+	}
+	heap.Push(&to.h, ev)
+}
+
+// head returns the lane's earliest pending event time, or +Inf.
+func (l *Lane) headTime() float64 {
+	if len(l.h) == 0 {
+		return math.Inf(1)
+	}
+	return l.h[0].t
+}
+
+// runWindow executes the lane's events with time strictly below horizon.
+// Locally scheduled events that land inside the window are executed too;
+// cross-lane sends are buffered in the outbox for delivery at the barrier.
+func (l *Lane) runWindow(horizon float64) {
+	for len(l.h) > 0 && l.h[0].t < horizon {
+		ev := heap.Pop(&l.h).(laneEvent)
+		l.now = ev.t
+		ev.fn()
+	}
+}
+
+// Engine is a set of lanes sharing a simulated clock. Run(1) drains the
+// lanes serially in global key order — the reference serial engine. Run(n)
+// for n > 1 drains them in conservative time windows: all lanes holding an
+// event inside [T, T+lookahead) execute concurrently, where T is the global
+// minimum pending time; the lookahead (the minimum cross-lane message
+// latency, enforced by Send) guarantees no message generated inside the
+// window can land inside it, so the two modes replay bitwise-identically.
+type Engine struct {
+	lanes     []*Lane
+	lookahead float64
+	parallel  bool
+}
+
+// NewEngine builds an engine with n lanes. lookahead is the minimum latency
+// every cross-lane Send must carry; it must be positive for parallel runs
+// (Run falls back to serial otherwise).
+func NewEngine(n int, lookahead float64) *Engine {
+	e := &Engine{lanes: make([]*Lane, n), lookahead: lookahead}
+	for i := range e.lanes {
+		e.lanes[i] = &Lane{id: int32(i), eng: e}
+	}
+	return e
+}
+
+// Lanes returns the number of lanes.
+func (e *Engine) Lanes() int { return len(e.lanes) }
+
+// Lane returns lane i.
+func (e *Engine) Lane(i int) *Lane { return e.lanes[i] }
+
+// Lookahead returns the minimum cross-lane message latency.
+func (e *Engine) Lookahead() float64 { return e.lookahead }
+
+// Now returns the engine's global time: the maximum lane-local time.
+func (e *Engine) Now() float64 {
+	var t float64
+	for _, l := range e.lanes {
+		if l.now > t {
+			t = l.now
+		}
+	}
+	return t
+}
+
+// Pending returns the total number of scheduled events across lanes.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, l := range e.lanes {
+		n += len(l.h)
+	}
+	return n
+}
+
+// Run drains every lane. workers ≤ 1 (or a non-positive lookahead) selects
+// the serial engine; larger values fan the window's active lanes across that
+// many goroutines. The executed event sequence — and therefore every
+// lane-local state and statistic — is identical in both modes.
+func (e *Engine) Run(workers int) {
+	if workers <= 1 || e.lookahead <= 0 || len(e.lanes) == 1 {
+		e.runSerial()
+		return
+	}
+	e.runParallel(workers)
+}
+
+// runSerial executes events one at a time in global (t, src, seq) order.
+func (e *Engine) runSerial() {
+	for {
+		var best *Lane
+		for _, l := range e.lanes {
+			if len(l.h) == 0 {
+				continue
+			}
+			if best == nil || laneLess(l.h[0], best.h[0]) {
+				best = l
+			}
+		}
+		if best == nil {
+			return
+		}
+		ev := heap.Pop(&best.h).(laneEvent)
+		best.now = ev.t
+		ev.fn()
+	}
+}
+
+type laneTask struct {
+	lane    *Lane
+	horizon float64
+}
+
+// runParallel executes conservative time windows on a persistent worker
+// pool. Each window: find the global minimum pending time T, let every lane
+// with events below T+lookahead drain that range concurrently, then deliver
+// the buffered cross-lane messages (all provably at or beyond the horizon)
+// and repeat.
+func (e *Engine) runParallel(workers int) {
+	e.parallel = true
+	defer func() { e.parallel = false }()
+
+	if workers > len(e.lanes) {
+		workers = len(e.lanes)
+	}
+	tasks := make(chan laneTask)
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		go func() {
+			for tk := range tasks {
+				tk.lane.runWindow(tk.horizon)
+				wg.Done()
+			}
+		}()
+	}
+	defer close(tasks)
+
+	active := make([]*Lane, 0, len(e.lanes))
+	for {
+		T := math.Inf(1)
+		for _, l := range e.lanes {
+			if t := l.headTime(); t < T {
+				T = t
+			}
+		}
+		if math.IsInf(T, 1) {
+			return
+		}
+		horizon := T + e.lookahead
+		active = active[:0]
+		for _, l := range e.lanes {
+			if l.headTime() < horizon {
+				active = append(active, l)
+			}
+		}
+		// Fan all but the first active lane to the pool and run the first
+		// (lane 0, the coordinator, when it is active — typically the
+		// heaviest) inline on this goroutine.
+		for _, l := range active[1:] {
+			wg.Add(1)
+			tasks <- laneTask{lane: l, horizon: horizon}
+		}
+		active[0].runWindow(horizon)
+		wg.Wait()
+
+		for _, l := range e.lanes {
+			for _, m := range l.outbox {
+				if m.ev.t < horizon {
+					panic(fmt.Sprintf("events: message from lane %d to lane %d at %g lands inside window ending %g",
+						l.id, m.target.id, m.ev.t, horizon))
+				}
+				heap.Push(&m.target.h, m.ev)
+			}
+			for i := range l.outbox {
+				l.outbox[i] = outMsg{}
+			}
+			l.outbox = l.outbox[:0]
+		}
+	}
+}

@@ -4,6 +4,15 @@
 // required bursts are fetched for a compressed block. The GTX580
 // configuration has 6 controllers, each driving two 32-bit GDDR5 channels
 // (384-bit aggregate bus, 192.4 GB/s).
+//
+// The System runs on the sharded event engine: the controller front-end
+// (routing and the MDC probes, which two channels of a controller share)
+// executes on the coordinator lane, while each GDDR5 channel drains on its
+// own lane. The two are decoupled by the memory-path latency PathNs, which
+// is exactly the cross-lane message latency — the lookahead that lets the
+// engine run channel lanes concurrently while replaying bitwise-identically
+// to the serial engine. Per-channel statistics accumulate in lane-local
+// shards and are merged only after the engine has drained.
 package mc
 
 import (
@@ -55,6 +64,9 @@ func (c Config) Validate() error {
 	}
 	return c.Dram.Validate()
 }
+
+// Channels returns the configured channel count.
+func (c Config) Channels() int { return c.Controllers * c.ChannelsPerMC }
 
 // Stats counts controller events.
 type Stats struct {
@@ -118,39 +130,61 @@ func (m *mdcCache) lookup(metaLine uint64) bool {
 	return false
 }
 
-// System is the full memory-controller subsystem. All requests flow through
-// the shared event engine; completions arrive via callbacks.
+// System is the full memory-controller subsystem on the sharded engine.
+// Read and Write must be called from events on the coordinator lane (or
+// before the engine runs); completion callbacks are delivered back onto the
+// coordinator lane.
 type System struct {
 	cfg      Config
-	q        *events.Queue
+	coord    *events.Lane
+	lanes    []*events.Lane // one per channel; entries may alias
 	channels []*dram.Channel
 	mdcs     []*mdcCache
 	cycleNs  float64
-	stats    Stats
+	pathNs   float64
+	// front holds the counters touched on the coordinator lane; laneStats
+	// holds the per-channel counters touched on that channel's lane.
+	front     Stats
+	laneStats []Stats
 	// metaBase is a fictitious address range for metadata fetches, placed
 	// beyond the data space so metadata rows do not alias data rows.
 	metaBase uint64
 }
 
-// New builds the subsystem on the given event engine.
-func New(cfg Config, q *events.Queue) (*System, error) {
+// New builds the subsystem with the front-end on coord and channel i's DRAM
+// state on chanLanes[i] (len must equal cfg.Channels(); lanes may alias,
+// e.g. all equal to coord for a single-lane setup). pathNs is the one-way
+// latency between the L2/front-end and the channels, paid by every
+// cross-lane message; it must be at least the owning engine's lookahead.
+func New(cfg Config, coord *events.Lane, chanLanes []*events.Lane, pathNs float64) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if q == nil {
-		return nil, fmt.Errorf("mc: nil event queue")
+	if coord == nil {
+		return nil, fmt.Errorf("mc: nil coordinator lane")
 	}
-	n := cfg.Controllers * cfg.ChannelsPerMC
+	if len(chanLanes) != cfg.Channels() {
+		return nil, fmt.Errorf("mc: %d channel lanes for %d channels", len(chanLanes), cfg.Channels())
+	}
+	if pathNs < 0 {
+		return nil, fmt.Errorf("mc: negative path latency %g", pathNs)
+	}
 	s := &System{
-		cfg:      cfg,
-		q:        q,
-		channels: make([]*dram.Channel, n),
-		mdcs:     make([]*mdcCache, cfg.Controllers),
-		cycleNs:  cfg.Dram.CycleNs(),
-		metaBase: 1 << 40,
+		cfg:       cfg,
+		coord:     coord,
+		lanes:     chanLanes,
+		channels:  make([]*dram.Channel, cfg.Channels()),
+		mdcs:      make([]*mdcCache, cfg.Controllers),
+		cycleNs:   cfg.Dram.CycleNs(),
+		pathNs:    pathNs,
+		laneStats: make([]Stats, cfg.Channels()),
+		metaBase:  1 << 40,
 	}
 	for i := range s.channels {
-		ch, err := dram.NewChannel(cfg.Dram, q)
+		if chanLanes[i] == nil {
+			return nil, fmt.Errorf("mc: nil lane for channel %d", i)
+		}
+		ch, err := dram.NewChannel(cfg.Dram, chanLanes[i])
 		if err != nil {
 			return nil, err
 		}
@@ -162,8 +196,27 @@ func New(cfg Config, q *events.Queue) (*System, error) {
 	return s, nil
 }
 
+// NewSingle builds the subsystem on a single-lane engine — the standalone
+// configuration unit tests and tools use. The returned engine's Run drains
+// it; there is no cross-lane latency.
+func NewSingle(cfg Config) (*System, *events.Engine, error) {
+	eng := events.NewEngine(1, 0)
+	lanes := make([]*events.Lane, cfg.Channels())
+	for i := range lanes {
+		lanes[i] = eng.Lane(0)
+	}
+	s, err := New(cfg, eng.Lane(0), lanes, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, eng, nil
+}
+
 // Channels returns the number of channels.
 func (s *System) Channels() int { return len(s.channels) }
+
+// PathNs returns the front-end ↔ channel latency.
+func (s *System) PathNs() float64 { return s.pathNs }
 
 // route maps an address to its channel and controller.
 func (s *System) route(addr uint64) (ch, ctrl int) {
@@ -181,71 +234,105 @@ func (s *System) localAddr(addr uint64) uint64 {
 	return (addr/il/n)*il + addr%il
 }
 
-// withMetadata runs fn after the metadata lookup for a compressed access; on
-// an MDC miss the metadata line is fetched from the controller's channel
-// first.
-func (s *System) withMetadata(addr uint64, ch, ctrl int, fn func()) {
-	metaLine := addr / (blocksPerMetaLine * compress.BlockSize)
+// probeMDC looks up the block's metadata line in its controller's MDC,
+// counting the outcome. It runs on the coordinator lane, where the two
+// channels of a controller can share the cache without synchronisation.
+// It reports whether the line must be fetched from DRAM first.
+func (s *System) probeMDC(addr uint64, ctrl int) (metaLine uint64, fetch bool) {
+	metaLine = addr / (blocksPerMetaLine * compress.BlockSize)
 	if s.mdcs[ctrl].lookup(metaLine) {
-		s.stats.MDCHits++
-		fn()
-		return
+		s.front.MDCHits++
+		return metaLine, false
 	}
-	s.stats.MDCMisses++
-	s.stats.MetaBursts++
-	s.channels[ch].Enqueue(s.metaBase+metaLine*32, 1, func(float64) { fn() })
+	s.front.MDCMisses++
+	s.front.MetaBursts++
+	return metaLine, true
 }
 
-// Read requests a block read; done is invoked at the completion time.
-// Compressed reads pay the MDC probe and decompression latency.
-func (s *System) Read(addr uint64, bursts int, compressed bool, done func(completionNs float64)) {
-	s.stats.Reads++
+// Read requests a block read; done is invoked on the coordinator lane at
+// the completion time (bus transfer plus decompression and the return
+// memory path). Compressed reads pay the MDC probe and decompression
+// latency; an MDC miss fetches the metadata line from the channel first.
+func (s *System) Read(addr uint64, bursts int, compressed bool, done func()) {
+	s.front.Reads++
 	ch, ctrl := s.route(addr)
-	issue := func() {
-		s.channels[ch].Enqueue(s.localAddr(addr), bursts, func(t float64) {
-			if compressed {
-				s.stats.Decompresses++
-				t += float64(s.cfg.DecompressCycles) * s.cycleNs
-			}
-			done(t)
-		})
-	}
+	la := s.localAddr(addr)
+	var metaLine uint64
+	fetch := false
+	decompNs := 0.0
 	if compressed {
-		s.withMetadata(addr, ch, ctrl, issue)
-		return
+		metaLine, fetch = s.probeMDC(addr, ctrl)
+		decompNs = float64(s.cfg.DecompressCycles) * s.cycleNs
 	}
-	issue()
+	lane := s.lanes[ch]
+	s.coord.Send(lane, s.coord.Now()+s.pathNs, func() {
+		issue := func() {
+			s.channels[ch].Enqueue(la, bursts, func(busEnd float64) {
+				if compressed {
+					s.laneStats[ch].Decompresses++
+				}
+				lane.Send(s.coord, busEnd+decompNs+s.pathNs, done)
+			})
+		}
+		if fetch {
+			s.channels[ch].EnqueueMeta(s.metaBase+metaLine*32, 1, func(float64) { issue() })
+		} else {
+			issue()
+		}
+	})
 }
 
 // Write posts a block writeback; compression latency is paid before the bus
 // transfer. Writes are posted: no completion callback.
 func (s *System) Write(addr uint64, bursts int, compressed bool) {
-	s.stats.Writes++
+	s.front.Writes++
 	ch, ctrl := s.route(addr)
-	issue := func() {
-		s.channels[ch].Enqueue(s.localAddr(addr), bursts, nil)
-	}
-	if compressed {
-		s.stats.Compresses++
-		lat := float64(s.cfg.CompressCycles) * s.cycleNs
-		s.withMetadata(addr, ch, ctrl, func() {
-			s.q.At(s.q.Now()+lat, issue)
+	la := s.localAddr(addr)
+	lane := s.lanes[ch]
+	now := s.coord.Now()
+	if !compressed {
+		s.coord.Send(lane, now+s.pathNs, func() {
+			s.channels[ch].Enqueue(la, bursts, nil)
 		})
 		return
 	}
-	issue()
+	s.front.Compresses++
+	lat := float64(s.cfg.CompressCycles) * s.cycleNs
+	metaLine, fetch := s.probeMDC(addr, ctrl)
+	if !fetch {
+		s.coord.Send(lane, now+s.pathNs+lat, func() {
+			s.channels[ch].Enqueue(la, bursts, nil)
+		})
+		return
+	}
+	s.coord.Send(lane, now+s.pathNs, func() {
+		s.channels[ch].EnqueueMeta(s.metaBase+metaLine*32, 1, func(tm float64) {
+			lane.At(tm+lat, func() {
+				s.channels[ch].Enqueue(la, bursts, nil)
+			})
+		})
+	})
 }
 
-// Stats returns controller counters.
-func (s *System) Stats() Stats { return s.stats }
+// Stats returns the controller counters, merging the coordinator-side
+// front-end counters with the per-channel lane shards. Call it only after
+// the engine has drained.
+func (s *System) Stats() Stats {
+	agg := s.front
+	for i := range s.laneStats {
+		agg.Decompresses += s.laneStats[i].Decompresses
+	}
+	return agg
+}
 
-// DramStats aggregates all channels.
+// DramStats aggregates all channels in index order.
 func (s *System) DramStats() dram.Stats {
 	var agg dram.Stats
 	for _, ch := range s.channels {
 		st := ch.Stats()
 		agg.Requests += st.Requests
 		agg.Bursts += st.Bursts
+		agg.MetaBursts += st.MetaBursts
 		agg.RowHits += st.RowHits
 		agg.RowMisses += st.RowMisses
 		agg.Activations += st.Activations

@@ -1,26 +1,26 @@
 package mc
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/gpu/events"
 )
 
-func newSys(t *testing.T) (*System, *events.Queue) {
+func newSys(t *testing.T) (*System, *events.Engine) {
 	t.Helper()
-	q := &events.Queue{}
-	s, err := New(DefaultConfig(), q)
+	s, eng, err := NewSingle(DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	return s, q
+	return s, eng
 }
 
 // readAt runs a single read to completion and returns its completion time.
-func readAt(s *System, q *events.Queue, addr uint64, bursts int, compressed bool) float64 {
+func readAt(s *System, eng *events.Engine, addr uint64, bursts int, compressed bool) float64 {
 	var done float64
-	s.Read(addr, bursts, compressed, func(t float64) { done = t })
-	q.Run()
+	s.Read(addr, bursts, compressed, func() { done = s.coord.Now() })
+	eng.Run(1)
 	return done
 }
 
@@ -73,11 +73,11 @@ func TestFewerBurstsFinishSooner(t *testing.T) {
 	s4, q4 := newSys(t)
 	var t1, t4 float64
 	for i := 0; i < 200; i++ {
-		s1.Read(0, 1, true, func(tt float64) { t1 = tt })
-		s4.Read(0, 4, true, func(tt float64) { t4 = tt })
+		s1.Read(0, 1, true, func() { t1 = s1.coord.Now() })
+		s4.Read(0, 4, true, func() { t4 = s4.coord.Now() })
 	}
-	q1.Run()
-	q4.Run()
+	q1.Run(1)
+	q4.Run(1)
 	if t1 >= t4 {
 		t.Errorf("1-burst stream (%v) not faster than 4-burst stream (%v)", t1, t4)
 	}
@@ -89,6 +89,11 @@ func TestMDCMissFetchesMetadata(t *testing.T) {
 	st := s.Stats()
 	if st.MDCMisses != 1 || st.MetaBursts != 1 {
 		t.Errorf("first compressed read: stats %+v, want 1 MDC miss + 1 meta burst", st)
+	}
+	// The metadata fetch must be visible as a metadata burst on the DRAM
+	// side too, split from data traffic.
+	if ds := s.DramStats(); ds.MetaBursts != 1 || ds.Bursts != 4+1 {
+		t.Errorf("dram stats %+v, want 4 data + 1 meta burst", ds)
 	}
 	// A second read in the same 16 KB metadata window AND on the same
 	// controller hits. Channel interleaving is 256 B across 12 channels, so
@@ -104,7 +109,7 @@ func TestUncompressedSkipsMDC(t *testing.T) {
 	s, q := newSys(t)
 	readAt(s, q, 0, 4, false)
 	s.Write(4096, 4, false)
-	q.Run()
+	q.Run(1)
 	st := s.Stats()
 	if st.MDCHits+st.MDCMisses != 0 {
 		t.Errorf("raw accesses probed the MDC: %+v", st)
@@ -117,7 +122,7 @@ func TestUncompressedSkipsMDC(t *testing.T) {
 func TestWriteCountsCompression(t *testing.T) {
 	s, q := newSys(t)
 	s.Write(0, 2, true)
-	q.Run()
+	q.Run(1)
 	if st := s.Stats(); st.Compresses != 1 {
 		t.Errorf("compressed write not counted: %+v", st)
 	}
@@ -129,12 +134,38 @@ func TestDramStatsAggregation(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		b := i%4 + 1
 		totalBursts += b
-		s.Read(uint64(i)*256, b, false, func(float64) {})
+		s.Read(uint64(i)*256, b, false, func() {})
 	}
-	q.Run()
+	q.Run(1)
 	ds := s.DramStats()
 	if ds.Bursts != totalBursts {
 		t.Errorf("aggregated bursts %d ≠ issued %d", ds.Bursts, totalBursts)
+	}
+	if ds.MetaBursts != 0 {
+		t.Errorf("uncompressed reads produced %d meta bursts", ds.MetaBursts)
+	}
+}
+
+func TestPathLatencyDelaysCompletion(t *testing.T) {
+	// The same read on a system with a non-zero memory path must complete
+	// exactly 2×path later (one hop out, one hop back).
+	sFast, qFast := newSys(t)
+	const path = 50.0
+	eng := events.NewEngine(2, path)
+	lanes := make([]*events.Lane, DefaultConfig().Channels())
+	for i := range lanes {
+		lanes[i] = eng.Lane(1)
+	}
+	sSlow, err := New(DefaultConfig(), eng.Lane(0), lanes, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tFast := readAt(sFast, qFast, 4096, 4, false)
+	var tSlow float64
+	sSlow.Read(4096, 4, false, func() { tSlow = sSlow.coord.Now() })
+	eng.Run(1)
+	if got, want := tSlow-tFast, 2*path; math.Abs(got-want) > 1e-9 {
+		t.Errorf("path latency added %g ns, want %g", got, want)
 	}
 }
 
@@ -148,10 +179,17 @@ func TestPeakBandwidth(t *testing.T) {
 func TestValidate(t *testing.T) {
 	bad := DefaultConfig()
 	bad.Controllers = 0
-	if _, err := New(bad, &events.Queue{}); err == nil {
+	if _, _, err := NewSingle(bad); err == nil {
 		t.Error("invalid config accepted")
 	}
-	if _, err := New(DefaultConfig(), nil); err == nil {
-		t.Error("nil queue accepted")
+	eng := events.NewEngine(1, 0)
+	if _, err := New(DefaultConfig(), nil, nil, 0); err == nil {
+		t.Error("nil coordinator accepted")
+	}
+	if _, err := New(DefaultConfig(), eng.Lane(0), []*events.Lane{eng.Lane(0)}, 0); err == nil {
+		t.Error("wrong lane count accepted")
+	}
+	if _, err := New(DefaultConfig(), eng.Lane(0), make([]*events.Lane, 12), -1); err == nil {
+		t.Error("negative path latency accepted")
 	}
 }

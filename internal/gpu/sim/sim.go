@@ -10,6 +10,13 @@
 // versus channel bandwidth, latency hiding limits, and (de)compression
 // latencies — while abstracting intra-SM pipelines into per-access issue
 // gaps carried by the trace.
+//
+// The simulator is sharded across event lanes: the SM/L2/controller
+// front-end runs on a coordinator lane and every GDDR5 channel on its own
+// lane, exchanging messages that always carry at least the memory-path
+// latency. That latency is the engine's lookahead, so Config.Workers > 1
+// replays the lanes concurrently inside conservative time windows with
+// results bitwise-identical to the serial engine (Workers ≤ 1).
 package sim
 
 import (
@@ -39,11 +46,17 @@ type Config struct {
 	L2HitCycles int
 	// MemPathCycles is the one-way SM-cycle cost between L2 and the memory
 	// controllers (interconnect + queuing), paid on each side of a miss.
+	// It is also the sharded engine's lookahead: the minimum latency of
+	// every cross-lane message.
 	MemPathCycles int
 	// WarpMLP is the per-warp memory-level parallelism: how many loads a
 	// warp keeps in flight before stalling (scoreboarded stall-on-use).
 	WarpMLP int
 	MC      mc.Config
+	// Workers is the number of goroutines draining the event lanes: ≤ 1
+	// selects the serial engine, larger values the sharded engine. Results
+	// are bitwise-identical either way.
+	Workers int
 
 	// Display-only fields of Table II (not modelled directly: the L1 is
 	// absorbed into trace generation, registers and shared memory do not
@@ -85,13 +98,18 @@ type Result struct {
 	L1           cache.Stats
 	L2           cache.Stats
 	MC           mc.Stats
-	DramBursts   int
-	DramBytes    int
-	RowHits      int
-	RowMisses    int
-	Activations  int
-	BusBusyNs    float64
-	Warps        int
+	// DramBursts counts every burst command on the channels' data buses;
+	// DramMetaBursts is the subset fetching compression metadata (MDC miss
+	// fills). DramBytes is data traffic only: (DramBursts −
+	// DramMetaBursts) × MAG.
+	DramBursts     int
+	DramMetaBursts int
+	DramBytes      int
+	RowHits        int
+	RowMisses      int
+	Activations    int
+	BusBusyNs      float64
+	Warps          int
 }
 
 type blockXfer struct {
@@ -117,7 +135,10 @@ type smState struct {
 type simulator struct {
 	cfg       Config
 	smCycleNs float64
-	q         *events.Queue
+	eng       *events.Engine
+	// q is the coordinator lane: every SM, L1, L2 and warp-scheduling event
+	// runs here, so all simulator state below is lane-local to it.
+	q         *events.Lane
 	l1s       []*cache.Cache
 	l2        *cache.Cache
 	mem       *mc.System
@@ -136,19 +157,33 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 	if !cfg.MAG.Valid() {
 		return Result{}, fmt.Errorf("sim: invalid MAG %d", cfg.MAG)
 	}
+	if cfg.MemPathCycles < 0 {
+		return Result{}, fmt.Errorf("sim: negative MemPathCycles %d", cfg.MemPathCycles)
+	}
 	l2, err := cache.New(cfg.L2)
 	if err != nil {
 		return Result{}, err
 	}
-	q := &events.Queue{}
-	mem, err := mc.New(cfg.MC, q)
+	smCycleNs := 1e3 / cfg.SMClockMHz
+	pathNs := float64(cfg.MemPathCycles) * smCycleNs
+	// One lane for the coordinator plus one per GDDR5 channel; the memory
+	// path is the minimum cross-lane latency and therefore the lookahead.
+	nchan := cfg.MC.Channels()
+	eng := events.NewEngine(1+nchan, pathNs)
+	coord := eng.Lane(0)
+	chanLanes := make([]*events.Lane, nchan)
+	for i := range chanLanes {
+		chanLanes[i] = eng.Lane(1 + i)
+	}
+	mem, err := mc.New(cfg.MC, coord, chanLanes, pathNs)
 	if err != nil {
 		return Result{}, err
 	}
 	s := &simulator{
 		cfg:       cfg,
-		smCycleNs: 1e3 / cfg.SMClockMHz,
-		q:         q,
+		smCycleNs: smCycleNs,
+		eng:       eng,
+		q:         coord,
 		l2:        l2,
 		mem:       mem,
 		sms:       make([]smState, cfg.SMs),
@@ -176,7 +211,8 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 	s.res.MC = s.mem.Stats()
 	ds := s.mem.DramStats()
 	s.res.DramBursts = ds.Bursts
-	s.res.DramBytes = ds.Bursts * int(cfg.MAG)
+	s.res.DramMetaBursts = ds.MetaBursts
+	s.res.DramBytes = (ds.Bursts - ds.MetaBursts) * int(cfg.MAG)
 	s.res.RowHits = ds.RowHits
 	s.res.RowMisses = ds.RowMisses
 	s.res.Activations = ds.Activations
@@ -198,6 +234,13 @@ func (s *simulator) runKernel(k *trace.Kernel) {
 			}
 			s.l1s[i] = fresh
 		}
+	}
+	// Write-back geometry is forgotten at kernel boundaries too: kernel
+	// N+1's evictions of blocks last written by kernel N fall back to the
+	// uncompressed MaxBursts transfer instead of replaying stale compressed
+	// geometry across the barrier.
+	if len(s.lastWrite) > 0 {
+		s.lastWrite = make(map[uint64]blockXfer)
 	}
 	warps := make([]*warpState, 0, len(k.Warps))
 	for i, accs := range k.Warps {
@@ -228,9 +271,9 @@ func (s *simulator) runKernel(k *trace.Kernel) {
 			smv.pending = append(smv.pending, w)
 		}
 	}
-	s.q.Run()
-	if s.q.Now() > s.endNs {
-		s.endNs = s.q.Now()
+	s.eng.Run(s.cfg.Workers)
+	if t := s.eng.Now(); t > s.endNs {
+		s.endNs = t
 	}
 	if s.remaining != 0 {
 		panic(fmt.Sprintf("sim: kernel %s drained with %d warps unfinished", k.Name, s.remaining))
@@ -265,7 +308,9 @@ func (s *simulator) tryIssueNext(w *warpState, t float64) {
 
 // issueAccess performs the L1/L2/DRAM path of one access. Reads join the
 // warp's load window (stall-on-use with WarpMLP outstanding loads); writes
-// are posted and write through the L1.
+// are posted and write through the L1. The memory controller pays the
+// L2↔controller path latency on each cross-lane hop, so a DRAM read's
+// response arrives pathNs + bus transfer (+ decompression) + pathNs later.
 func (s *simulator) issueAccess(w *warpState, a trace.Access) {
 	now := s.q.Now()
 	s.res.Accesses++
@@ -282,14 +327,12 @@ func (s *simulator) issueAccess(w *warpState, a trace.Access) {
 		}
 	}
 	res := s.l2.Access(a.Addr, a.Write)
-	pathNs := float64(s.cfg.MemPathCycles) * s.smCycleNs
 	if res.HasWriteback {
 		wb, ok := s.lastWrite[res.WritebackAddr]
 		if !ok {
 			wb = blockXfer{bursts: s.cfg.MAG.MaxBursts(), compressed: false}
 		}
-		addr := res.WritebackAddr
-		s.q.At(now+pathNs, func() { s.mem.Write(addr, wb.bursts, wb.compressed) })
+		s.mem.Write(res.WritebackAddr, wb.bursts, wb.compressed)
 	}
 	if a.Write {
 		// Record the block's compressed geometry for its eventual
@@ -303,11 +346,7 @@ func (s *simulator) issueAccess(w *warpState, a trace.Access) {
 	if res.Hit {
 		s.q.At(now+hitNs, func() { s.respond(w) })
 	} else {
-		s.q.At(now+pathNs, func() {
-			s.mem.Read(a.Addr, int(a.Bursts), a.Compressed, func(done float64) {
-				s.q.At(done+pathNs, func() { s.respond(w) })
-			})
-		})
+		s.mem.Read(a.Addr, int(a.Bursts), a.Compressed, func() { s.respond(w) })
 	}
 	// Independent next instructions keep issuing behind the load.
 	s.q.At(now, func() { s.tryIssueNext(w, s.q.Now()) })

@@ -98,8 +98,13 @@ func TestBurstConservation(t *testing.T) {
 	if res.DramBursts != want {
 		t.Errorf("dram bursts = %d, want %d", res.DramBursts, want)
 	}
-	if res.DramBytes != res.DramBursts*32 {
-		t.Errorf("bytes = %d, want bursts×32", res.DramBytes)
+	// Metadata fetches are split out: the controller's count and the DRAM
+	// channels' count must agree, and DramBytes is data traffic only.
+	if res.DramMetaBursts != res.MC.MetaBursts {
+		t.Errorf("dram meta bursts = %d, MC counted %d", res.DramMetaBursts, res.MC.MetaBursts)
+	}
+	if res.DramBytes != (res.DramBursts-res.DramMetaBursts)*32 {
+		t.Errorf("bytes = %d, want data bursts×32", res.DramBytes)
 	}
 }
 
@@ -271,3 +276,110 @@ func TestL1FlushedBetweenKernels(t *testing.T) {
 		t.Errorf("L2 misses = %d, want 1 (kernel 1's cold fill)", res.L2.Misses)
 	}
 }
+
+// mixedTrace exercises every cross-lane interaction at once: streaming
+// reads, L2 hits, compressed and uncompressed writes with dirty evictions,
+// and a second kernel re-touching the first kernel's footprint.
+func mixedTrace() *trace.Trace {
+	k1 := trace.Kernel{Name: "mix", Warps: make([][]trace.Access, 96)}
+	for w := 0; w < 96; w++ {
+		for i := 0; i < 60; i++ {
+			addr := uint64(w*60+i) * 128
+			a := trace.Access{Addr: addr, Bursts: uint8(i%4 + 1), Compute: uint16(i % 7)}
+			a.Compressed = a.Bursts < 4
+			if i%5 == 0 {
+				a.Write = true
+			}
+			if i%11 == 0 {
+				a.Addr = uint64(w) * 128 // hot block: L1/L2 hits
+			}
+			k1.Warps[w] = append(k1.Warps[w], a)
+		}
+	}
+	k2 := streamTrace(64, 40, 2, 3).Kernels[0]
+	return &trace.Trace{Kernels: []trace.Kernel{k1, k2}}
+}
+
+// TestShardedMatchesSerial is the determinism bar of the sharded engine:
+// the same trace replayed with 2, 4 and 12 workers must produce a Result
+// bitwise-identical to the serial engine (Workers = 1). Run under -race in
+// CI, this doubles as the data-race check on the lane partitioning.
+func TestShardedMatchesSerial(t *testing.T) {
+	traces := map[string]*trace.Trace{
+		"stream":    streamTrace(128, 80, 3, 4),
+		"bandwidth": streamTrace(512, 60, 4, 2),
+		"mixed":     mixedTrace(),
+	}
+	for name, tr := range traces {
+		cfg := DefaultConfig()
+		cfg.Workers = 1
+		want, err := Run(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 12} {
+			cfg.Workers = workers
+			got, err := Run(tr, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("%s: %d workers diverge from serial:\nserial:  %+v\nsharded: %+v",
+					name, workers, want, got)
+			}
+		}
+	}
+}
+
+// TestLastWriteClearedBetweenKernels: kernel 1 writes a block with a
+// 1-burst compressed geometry; kernel 2 streams a large read footprint that
+// evicts it from the L2. The writeback must not replay kernel 1's stale
+// geometry across the kernel barrier — it transfers as a full uncompressed
+// block.
+func TestLastWriteClearedBetweenKernels(t *testing.T) {
+	const blocks = 2 * 6144 // 2× the 768 KB L2 (6144 lines of 128 B)
+	k1 := trace.Kernel{Name: "write", Warps: [][]trace.Access{{
+		{Addr: 0, Write: true, Bursts: 1, Compressed: true, Compute: 1},
+	}}}
+	k2 := trace.Kernel{Name: "evict", Warps: make([][]trace.Access, 64)}
+	for w := 0; w < 64; w++ {
+		for i := w; i < blocks; i += 64 {
+			k2.Warps[w] = append(k2.Warps[w], trace.Access{
+				Addr: uint64(1+i) * 128, Bursts: 4, Compute: 1,
+			})
+		}
+	}
+	res := run(t, &trace.Trace{Kernels: []trace.Kernel{k1, k2}})
+	if res.L2.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1 (the stale dirty block)", res.L2.Writebacks)
+	}
+	// All of kernel 2's reads are uncompressed misses (4 bursts each); the
+	// lone writeback must transfer MaxBursts = 4, not the stale 1.
+	want := blocks*4 + 4
+	if got := res.DramBursts - res.DramMetaBursts; got != want {
+		t.Errorf("data bursts = %d, want %d (stale write geometry leaked across kernels?)", got, want)
+	}
+}
+
+func benchTrace() *trace.Trace {
+	return streamTrace(1024, 200, 4, 4)
+}
+
+func benchSim(b *testing.B, workers int) {
+	tr := benchTrace()
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimSerial and BenchmarkSimSharded12 compare the serial engine to
+// twelve workers over the 13 lanes (coordinator + 12 channels) on a
+// bandwidth-bound trace.
+func BenchmarkSimSerial(b *testing.B)    { benchSim(b, 1) }
+func BenchmarkSimSharded4(b *testing.B)  { benchSim(b, 4) }
+func BenchmarkSimSharded12(b *testing.B) { benchSim(b, 12) }
