@@ -16,10 +16,15 @@
 // bitwise-identical results. -json replaces the text report with a JSON
 // dump of every executed cell — the format the bench trajectory is
 // recorded in.
+//
+// -store DIR persists memoised results (golden runs, entropy tables, cell
+// measurements) to a content-addressed store in DIR; a second identical
+// invocation then recomputes nothing and emits bitwise-identical results
+// (observable via the Store hit counters in -json output). -store-clear
+// empties the store first.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -29,7 +34,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/experiments"
 	"repro/internal/gpu/sim"
-	"repro/internal/pipeline"
+	"repro/internal/storeflag"
 )
 
 func main() {
@@ -45,6 +50,7 @@ func main() {
 		simw      = flag.Int("simworkers", 1, "worker goroutines per sharded timing simulation (0 = all cores, 1 = serial engine)")
 		asJSON    = flag.Bool("json", false, "emit the executed cells as JSON instead of the text report (-all, -fig, -ablations)")
 		verbose   = flag.Bool("v", false, "log per-run progress to stderr")
+		store     = storeflag.Register()
 	)
 	flag.Parse()
 
@@ -61,6 +67,17 @@ func main() {
 	r.SimWorkers = experiments.Workers(*simw)
 	if *verbose {
 		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ..", s) }
+	}
+	st, err := store.Attach(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if st != nil {
+		defer func() {
+			s := st.Stats()
+			fmt.Fprintf(os.Stderr, "store %s: %d hits, %d misses, %d writes\n",
+				st.Dir(), s.Hits, s.Misses, s.Puts)
+		}()
 	}
 	// The cells the selected target renders: full runs (timing + error) and
 	// compression-only sweeps.
@@ -141,45 +158,14 @@ func main() {
 	}
 }
 
-// compressionResult is one compression-only cell in the JSON output.
-type compressionResult struct {
-	Workload string
-	Config   experiments.Config
-	Comp     pipeline.Stats
-}
-
-// jsonOutput is the -json schema: every executed cell of the target, in
-// cell order, with the full measurement per cell.
-type jsonOutput struct {
-	Target      string
-	Results     []experiments.RunResult `json:",omitempty"`
-	Compression []compressionResult     `json:",omitempty"`
-}
-
-// emitJSON re-reads the memoised cells (warmed above) and writes them out.
+// emitJSON re-reads the memoised cells (warmed above) and writes the bench
+// trajectory, including the store's hit counters when one is attached.
 func emitJSON(w io.Writer, r *experiments.Runner, target string, full, comp []experiments.Cell) error {
-	o := jsonOutput{Target: target}
-	for _, c := range full {
-		res, err := r.Run(c.Workload, c.Config)
-		if err != nil {
-			return err
-		}
-		o.Results = append(o.Results, res)
+	traj, err := experiments.CollectTrajectory(r, target, full, comp)
+	if err != nil {
+		return err
 	}
-	for _, c := range comp {
-		st, err := r.CompressionOnly(c.Workload, c.Config)
-		if err != nil {
-			return err
-		}
-		o.Compression = append(o.Compression, compressionResult{
-			Workload: c.Workload.Info().Name,
-			Config:   c.Config,
-			Comp:     st,
-		})
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(o)
+	return traj.WriteJSON(w)
 }
 
 func runFigure(w io.Writer, r *experiments.Runner, fig int) error {

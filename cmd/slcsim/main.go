@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/compress"
 	"repro/internal/experiments"
+	"repro/internal/storeflag"
 	"repro/internal/workloads"
 )
 
@@ -38,6 +39,7 @@ func main() {
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		listCodec = flag.Bool("list-codecs", false, "list registered codecs and exit")
 		verbose   = flag.Bool("v", false, "log progress")
+		store     = storeflag.Register()
 	)
 	flag.Parse()
 
@@ -70,6 +72,9 @@ func main() {
 	r.SimWorkers = experiments.Workers(*simw)
 	if *verbose {
 		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ..", s) }
+	}
+	if _, err := store.Attach(r); err != nil {
+		log.Fatal(err)
 	}
 	res, err := r.Run(w, cfg)
 	if err != nil {

@@ -28,6 +28,7 @@ import (
 	"repro/internal/gpu/sim"
 	"repro/internal/gpu/trace"
 	"repro/internal/pipeline"
+	"repro/internal/storeflag"
 	"repro/internal/workloads"
 )
 
@@ -42,6 +43,7 @@ func main() {
 		parallel  = flag.Int("parallel", 1, "worker goroutines for block compression (0 = all cores)")
 		simulate  = flag.Bool("sim", false, "also replay the trace through the timing simulator")
 		simw      = flag.Int("simworkers", 1, "worker goroutines for the sharded timing simulator (0 = all cores, 1 = serial engine)")
+		store     = storeflag.Register()
 	)
 	flag.Parse()
 	if *bench == "" {
@@ -59,6 +61,11 @@ func main() {
 	}
 	r := experiments.NewRunner()
 	r.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ..", s) }
+	// The store serves slctrace's entropy-table training (tables are the
+	// expensive part of building a tslc-* pipeline).
+	if _, err := store.Attach(r); err != nil {
+		log.Fatal(err)
+	}
 
 	// Build the configured pipeline and record the trace.
 	dev := device.New()

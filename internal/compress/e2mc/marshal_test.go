@@ -1,0 +1,88 @@
+package e2mc
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/compress"
+)
+
+// trainTestTable builds a table over a deterministic mix of skewed and raw
+// symbols, so both frequent entries and escapes are exercised.
+func trainTestTable(t *testing.T) *Table {
+	t.Helper()
+	tr := NewTrainer()
+	block := make([]byte, compress.BlockSize)
+	for b := 0; b < 64; b++ {
+		for i := 0; i < compress.SymbolsPerBlock; i++ {
+			// Heavy skew toward a few symbols plus a tail of rare ones.
+			v := uint16(i % 7)
+			if (b+i)%13 == 0 {
+				v = uint16(b*251 + i*17)
+			}
+			block[2*i] = byte(v)
+			block[2*i+1] = byte(v >> 8)
+		}
+		tr.Sample(block)
+	}
+	tab, err := tr.Build(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestTableMarshalRoundTrip(t *testing.T) {
+	tab := trainTestTable(t)
+	data, err := tab.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Table
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, tab) {
+		t.Error("unmarshalled table differs from the original")
+	}
+	for sym := 0; sym < 1<<16; sym++ {
+		if got.SymbolBits(uint16(sym)) != tab.SymbolBits(uint16(sym)) {
+			t.Fatalf("SymbolBits(%d) differs after round trip", sym)
+		}
+	}
+	// A re-marshal must be byte-identical (the store's warm-run guarantee).
+	again, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, data) {
+		t.Error("re-marshalled table bytes differ")
+	}
+}
+
+func TestTableUnmarshalRejectsCorruption(t *testing.T) {
+	tab := trainTestTable(t)
+	data, err := tab.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       data[:4],
+		"truncated":   data[:len(data)-3],
+		"bad version": append([]byte{99}, data[1:]...),
+		"bad maxlen":  append([]byte{data[0], 0}, data[2:]...),
+	}
+	// Kraft violation: all code lengths 1.
+	bad := append([]byte(nil), data...)
+	for i := 6 + 2*tab.Entries(); i < len(bad); i++ {
+		bad[i] = 1
+	}
+	cases["kraft violation"] = bad
+	for name, c := range cases {
+		var got Table
+		if err := got.UnmarshalBinary(c); err == nil {
+			t.Errorf("%s: UnmarshalBinary accepted corrupt record", name)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package compress_test
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"repro/internal/compress"
+	_ "repro/internal/compress/all" // register every codec
+	"repro/internal/compress/e2mc"
+	"repro/internal/slc"
+)
+
+// Native fuzz targets for every registered codec: any 128-byte block must
+// round-trip exactly through a lossless codec, and a lossy codec may only
+// perturb a bounded contiguous symbol span (the TSLC invariant). The
+// targets are grouped into families so CI can give each family its own
+// coverage-guided budget; TestFuzzFamiliesCoverRegistry pins the grouping
+// to compress.Names(), so registering a new codec fails the suite until it
+// is assigned to a family.
+
+var fuzzFamilies = map[string][]string{
+	"word":    {"bdi", "bpc", "cpack", "fpc"},         // 32-bit-word codecs
+	"entropy": {"e2mc", "hycomp", "raw"},              // table-driven + identity
+	"slc":     {"tslc-simp", "tslc-pred", "tslc-opt"}, // lossy TSLC variants
+}
+
+func TestFuzzFamiliesCoverRegistry(t *testing.T) {
+	var covered []string
+	for fam, names := range fuzzFamilies {
+		for _, n := range names {
+			if _, ok := compress.Lookup(n); !ok {
+				t.Errorf("fuzz family %q lists unregistered codec %q", fam, n)
+			}
+			covered = append(covered, n)
+		}
+	}
+	sort.Strings(covered)
+	registered := compress.Names()
+	if len(covered) != len(registered) {
+		t.Fatalf("fuzz families cover %d codecs, registry has %d: %v vs %v\n"+
+			"assign every new codec to a family in fuzzFamilies",
+			len(covered), len(registered), covered, registered)
+	}
+	for i, n := range registered {
+		if covered[i] != n {
+			t.Errorf("registered codec %q is not covered by any fuzz family", n)
+		}
+	}
+}
+
+// fuzzBlock normalises arbitrary fuzz input to exactly one block: truncate
+// long inputs, tile short ones (so tiny seeds still explore all 128 bytes).
+func fuzzBlock(data []byte) []byte {
+	block := make([]byte, compress.BlockSize)
+	if len(data) == 0 {
+		return block
+	}
+	for i := range block {
+		block[i] = data[i%len(data)]
+	}
+	return block
+}
+
+// buildCodec constructs one registered codec for a block. Table-driven
+// codecs train on the block itself (any valid table must round-trip); lossy
+// codecs run at the paper's default threshold.
+func buildCodec(tb testing.TB, name string, block []byte) compress.Codec {
+	tb.Helper()
+	info, ok := compress.Lookup(name)
+	if !ok {
+		tb.Fatalf("codec %q not registered", name)
+	}
+	ctx := compress.BuildContext{MAG: compress.MAG32}
+	if info.NeedsTable {
+		tr := e2mc.NewTrainer()
+		tr.Sample(block)
+		tab, err := tr.Build(0, 0)
+		if err != nil {
+			tb.Fatalf("%s: training on fuzz block: %v", name, err)
+		}
+		ctx.Table = tab
+	}
+	c, err := info.New(ctx)
+	if err != nil {
+		tb.Fatalf("%s: build: %v", name, err)
+	}
+	return c
+}
+
+// checkRoundTrip compresses and decompresses one block through one codec
+// and asserts the family's round-trip contract.
+func checkRoundTrip(t *testing.T, name string, block []byte) {
+	t.Helper()
+	c := buildCodec(t, name, block)
+	enc := c.Compress(block)
+	if enc.Bits <= 0 || enc.Bits > compress.BlockBits {
+		t.Fatalf("%s: compressed size %d bits outside (0, %d]", name, enc.Bits, compress.BlockBits)
+	}
+	if len(enc.Payload) < enc.Bytes() {
+		t.Fatalf("%s: payload %d bytes shorter than encoded size %d bytes", name, len(enc.Payload), enc.Bytes())
+	}
+	if so, ok := c.(compress.SizeOnly); ok && !enc.Lossy {
+		if got := so.CompressedBits(block); got != enc.Bits {
+			t.Fatalf("%s: CompressedBits %d != Compress %d", name, got, enc.Bits)
+		}
+	}
+	dst := make([]byte, compress.BlockSize)
+	if err := c.Decompress(enc, dst); err != nil {
+		t.Fatalf("%s: decompress own output: %v", name, err)
+	}
+	if !enc.Lossy {
+		if !bytes.Equal(dst, block) {
+			t.Fatalf("%s: lossless round trip corrupted block\n in: %x\nout: %x", name, block, dst)
+		}
+		return
+	}
+	// Lossy: only a bounded contiguous span of 16-bit symbols may change.
+	in, out := compress.Symbols(block), compress.Symbols(dst)
+	first, last, diffs := -1, -1, 0
+	for i := range in {
+		if in[i] != out[i] {
+			if first < 0 {
+				first = i
+			}
+			last = i
+			diffs++
+		}
+	}
+	if diffs == 0 {
+		return
+	}
+	if diffs > slc.MaxApproxSymbols || last-first+1 > slc.MaxApproxSymbols {
+		t.Fatalf("%s: lossy output differs in %d symbols over span [%d,%d], max %d",
+			name, diffs, first, last, slc.MaxApproxSymbols)
+	}
+	// The decision that produced a lossy encoding must have respected the
+	// threshold and landed on the burst budget.
+	if sc, ok := c.(*slc.Codec); ok {
+		d := sc.Decide(block)
+		if d.Mode == slc.ModeLossy {
+			if d.ExtraBits <= 0 || d.ExtraBits > sc.Config().ThresholdBits {
+				t.Fatalf("%s: lossy decision with ExtraBits %d outside (0, %d]",
+					name, d.ExtraBits, sc.Config().ThresholdBits)
+			}
+			if d.StoredBits > d.BudgetBits {
+				t.Fatalf("%s: lossy stored %d bits above budget %d", name, d.StoredBits, d.BudgetBits)
+			}
+		}
+	}
+}
+
+// addSeeds seeds a fuzz corpus with the structured blocks that have caught
+// real bugs: the all-zero and all-ones blocks, ramps, and — from the PR 2
+// FPC/C-PACK bugfix — mixes of incompressible and compressible words that
+// sweep the stored size across the exactly-1024-bit boundary (a stream of
+// exactly BlockBits must be stored raw, because Decompress reads any
+// full-size encoding as a raw payload).
+func addSeeds(f *testing.F) {
+	zero := make([]byte, compress.BlockSize)
+	f.Add(zero)
+	ones := bytes.Repeat([]byte{0xFF}, compress.BlockSize)
+	f.Add(ones)
+	ramp := make([]byte, compress.BlockSize)
+	for i := range ramp {
+		ramp[i] = byte(i)
+	}
+	f.Add(ramp)
+	// k high-entropy words followed by zeros, for k sweeping the block: the
+	// per-word costs walk the compressed size through the 1024-bit boundary
+	// for the word codecs, and give the entropy codecs skewed tables with a
+	// heavy escape tail.
+	for _, k := range []int{1, 8, 16, 24, 28, 29, 30, 31, 32} {
+		var words [compress.WordsPerBlock]uint32
+		x := uint32(0x2545F491)
+		for i := 0; i < k; i++ {
+			x ^= x << 13
+			x ^= x >> 17
+			x ^= x << 5
+			words[i] = x
+		}
+		block := make([]byte, compress.BlockSize)
+		compress.PutWords(block, words)
+		f.Add(block)
+	}
+}
+
+// fuzzFamily runs one family's codecs over a normalised fuzz input.
+func fuzzFamily(f *testing.F, family string) {
+	addSeeds(f)
+	names := fuzzFamilies[family]
+	f.Fuzz(func(t *testing.T, data []byte) {
+		block := fuzzBlock(data)
+		for _, name := range names {
+			checkRoundTrip(t, name, block)
+		}
+	})
+}
+
+func FuzzRoundTripWord(f *testing.F)    { fuzzFamily(f, "word") }
+func FuzzRoundTripEntropy(f *testing.F) { fuzzFamily(f, "entropy") }
+func FuzzRoundTripSLC(f *testing.F)     { fuzzFamily(f, "slc") }

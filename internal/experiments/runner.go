@@ -26,6 +26,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/power"
+	"repro/internal/resultstore"
 	"repro/internal/slc"
 	"repro/internal/workloads"
 )
@@ -155,6 +156,13 @@ type Runner struct {
 	tables  flight[*e2mc.Table]
 	results flight[RunResult]
 
+	// Store, when non-nil, persists memoised computations to disk,
+	// content-addressed by workload, configuration and code fingerprint
+	// (see store.go). Each singleflight slot then resolves memory hit →
+	// disk hit → compute; a populated store makes a repeated invocation
+	// recompute nothing and return bitwise-identical results.
+	Store *resultstore.Store
+
 	// SyncWorkers, when > 1, parallelises block compression inside each
 	// run's pipeline (see pipeline.SetWorkers). Results are identical to
 	// serial execution.
@@ -187,11 +195,23 @@ func (r *Runner) progress(format string, args ...interface{}) {
 func (r *Runner) Golden(w workloads.Workload) ([]float64, error) {
 	name := w.Info().Name
 	return r.golden.do(name, func() ([]float64, error) {
+		key, usable := r.storeKey(kindGolden, goldenMaterial(w))
+		if usable {
+			var out []float64
+			if hit, err := r.Store.GetGob(key, &out); err != nil {
+				return nil, fmt.Errorf("golden %s: store: %w", name, err)
+			} else if hit {
+				return out, nil
+			}
+		}
 		r.progress("golden run: %s", name)
 		ctx := workloads.NewCtx(device.New(), nil, nil)
 		out, err := w.Run(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("golden %s: %w", name, err)
+		}
+		if usable {
+			r.storePut(func() error { return r.Store.PutGob(key, kindGolden, out) }, kindGolden)
 		}
 		return out, nil
 	})
@@ -202,6 +222,18 @@ func (r *Runner) Golden(w workloads.Workload) ([]float64, error) {
 func (r *Runner) Table(w workloads.Workload) (*e2mc.Table, error) {
 	name := w.Info().Name
 	return r.tables.do(name, func() (*e2mc.Table, error) {
+		key, usable := r.storeKey(kindTable, tableMaterial(w))
+		if usable {
+			if payload, hit, err := r.Store.GetBytes(key); err != nil {
+				return nil, fmt.Errorf("table %s: store: %w", name, err)
+			} else if hit {
+				var tab e2mc.Table
+				if uerr := tab.UnmarshalBinary(payload); uerr == nil {
+					return &tab, nil
+				}
+				// Undecodable under the current wire format: recompute.
+			}
+		}
 		r.progress("training table: %s", name)
 		dev := device.New()
 		trainer := e2mc.NewTrainer()
@@ -220,6 +252,15 @@ func (r *Runner) Table(w workloads.Workload) (*e2mc.Table, error) {
 		tab, err := trainer.Build(0, 0)
 		if err != nil {
 			return nil, fmt.Errorf("building table for %s: %w", name, err)
+		}
+		if usable {
+			r.storePut(func() error {
+				data, merr := tab.MarshalBinary()
+				if merr != nil {
+					return merr
+				}
+				return r.Store.PutBytes(key, kindTable, "bin", data)
+			}, kindTable)
 		}
 		return tab, nil
 	})
@@ -293,6 +334,17 @@ func (r *Runner) Run(w workloads.Workload, cfg Config) (RunResult, error) {
 	info := w.Info()
 	key := cellKey(info.Name, cfg)
 	return r.results.do(key, func() (RunResult, error) {
+		// Disk hit short-circuits everything, including the golden run and
+		// table training the cell would otherwise request.
+		dkey, usable := r.storeKey(kindCell, r.cellMaterial(w, cfg))
+		if usable {
+			var cached RunResult
+			if hit, err := r.Store.GetJSON(dkey, &cached); err != nil {
+				return RunResult{}, fmt.Errorf("%s × %s: store: %w", info.Name, cfg.Name, err)
+			} else if hit {
+				return cached, nil
+			}
+		}
 		golden, err := r.Golden(w)
 		if err != nil {
 			return RunResult{}, err
@@ -328,7 +380,7 @@ func (r *Runner) Run(w workloads.Workload, cfg Config) (RunResult, error) {
 		if err != nil {
 			return RunResult{}, err
 		}
-		return RunResult{
+		res := RunResult{
 			Workload:  info.Name,
 			Config:    cfg,
 			ErrorFrac: errFrac,
@@ -336,7 +388,11 @@ func (r *Runner) Run(w workloads.Workload, cfg Config) (RunResult, error) {
 			Energy:    energy,
 			Comp:      pl.Stats(),
 			Trace:     tr.Stats(cfg.MAG),
-		}, nil
+		}
+		if usable {
+			r.storePut(func() error { return r.Store.PutJSON(dkey, kindCell, res) }, kindCell)
+		}
+		return res, nil
 	})
 }
 
@@ -346,6 +402,15 @@ func (r *Runner) CompressionOnly(w workloads.Workload, cfg Config) (pipeline.Sta
 	info := w.Info()
 	key := cellKey(info.Name, cfg) + "|comp"
 	res, err := r.results.do(key, func() (RunResult, error) {
+		dkey, usable := r.storeKey(kindComp, compMaterial(w, cfg))
+		if usable {
+			var cached RunResult
+			if hit, err := r.Store.GetJSON(dkey, &cached); err != nil {
+				return RunResult{}, fmt.Errorf("%s × %s: store: %w", info.Name, cfg.Name, err)
+			} else if hit {
+				return cached, nil
+			}
+		}
 		lossless, lossy, err := r.codecs(w, cfg)
 		if err != nil {
 			return RunResult{}, err
@@ -359,7 +424,11 @@ func (r *Runner) CompressionOnly(w workloads.Workload, cfg Config) (pipeline.Sta
 		if _, err := w.Run(workloads.NewCtx(dev, nil, pl.Sync)); err != nil {
 			return RunResult{}, fmt.Errorf("%s × %s: %w", info.Name, cfg.Name, err)
 		}
-		return RunResult{Workload: info.Name, Config: cfg, Comp: pl.Stats()}, nil
+		out := RunResult{Workload: info.Name, Config: cfg, Comp: pl.Stats()}
+		if usable {
+			r.storePut(func() error { return r.Store.PutJSON(dkey, kindComp, out) }, kindComp)
+		}
+		return out, nil
 	})
 	return res.Comp, err
 }

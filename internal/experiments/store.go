@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"repro/internal/compress/e2mc"
+	"repro/internal/resultstore"
+	"repro/internal/workloads"
+)
+
+// Disk persistence of memoised Runner computations. When Runner.Store is
+// set, every singleflight slot resolves memory hit → disk hit → compute:
+// the first request for a key consults the store before computing, and a
+// computed value is written back so later processes (and CI runs sharing a
+// cached store directory) skip the work entirely. Keys are content
+// addresses over everything that determines the value — the workload's
+// generated-input fingerprint, the full configuration, the derived
+// simulator configuration (including Workers, per the store's
+// "any knob in the key" rule) — plus the store's schema version and code
+// fingerprint (resultstore.NewKey), so any change recomputes instead of
+// serving stale records.
+
+// Store record kinds.
+const (
+	kindGolden = "golden"
+	kindTable  = "table"
+	kindCell   = "cell"
+	kindComp   = "comp"
+)
+
+// goldenMaterial keys a workload's exact outputs.
+func goldenMaterial(w workloads.Workload) resultstore.Material {
+	return resultstore.Material{"workload": workloads.Fingerprint(w)}
+}
+
+// tableMaterial keys a workload's trained entropy table: the sampling
+// scheme (every region sync) and the table construction parameters.
+func tableMaterial(w workloads.Workload) resultstore.Material {
+	return resultstore.Material{
+		"workload":   workloads.Fingerprint(w),
+		"sampling":   "region-sync-v1",
+		"maxSymbols": e2mc.DefaultMaxSymbols,
+		"maxCodeLen": e2mc.DefaultMaxCodeLen,
+	}
+}
+
+// cellMaterial keys one full evaluation cell: workload content, the
+// complete Config and the derived simulator configuration the cell runs
+// under (so MAG, threshold, codec name, latencies and worker counts each
+// change the key).
+func (r *Runner) cellMaterial(w workloads.Workload, cfg Config) resultstore.Material {
+	sc := SimConfig(cfg)
+	sc.Workers = r.SimWorkers
+	return resultstore.Material{
+		"workload": workloads.Fingerprint(w),
+		"config":   cfg,
+		"sim":      sc,
+	}
+}
+
+// compMaterial keys a compression-only cell (no timing simulation).
+func compMaterial(w workloads.Workload, cfg Config) resultstore.Material {
+	return resultstore.Material{
+		"workload": workloads.Fingerprint(w),
+		"config":   cfg,
+	}
+}
+
+// storeKey derives a key, reporting false when no store is attached (or the
+// material fails to encode, which is a programming error surfaced via
+// progress rather than a run failure).
+func (r *Runner) storeKey(kind string, m resultstore.Material) (resultstore.Key, bool) {
+	if r.Store == nil {
+		return resultstore.Key{}, false
+	}
+	key, err := r.Store.Key(kind, m)
+	if err != nil {
+		r.progress("store: keying %s failed: %v", kind, err)
+		return resultstore.Key{}, false
+	}
+	return key, true
+}
+
+// storePut writes a computed value back to the store, best-effort: a full
+// disk or unwritable directory must not fail the run that just computed a
+// perfectly good result.
+func (r *Runner) storePut(put func() error, kind string) {
+	if err := put(); err != nil {
+		r.progress("store: writing %s record failed: %v", kind, err)
+	}
+}
+
+// StoreStats returns the attached store's traffic counters, or nil when the
+// runner computes everything in memory. slcbench surfaces it in -json
+// output, which is how "a warm run performed zero recomputations" is
+// observable.
+func (r *Runner) StoreStats() *resultstore.Stats {
+	if r.Store == nil {
+		return nil
+	}
+	st := r.Store.Stats()
+	return &st
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/slc"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// goldenCells is the tiny workload matrix the trajectory fixture pins: one
+// workload under the raw baseline, the lossless baseline and the paper's
+// main configuration, plus one compression-only cell.
+func goldenCells(t *testing.T) (full, comp []Cell) {
+	w := tpWorkload(t)
+	full = []Cell{
+		{w, BaselineConfig("raw", compress.MAG32)},
+		{w, E2MCConfig(compress.MAG32)},
+		{w, TSLCConfig(slc.OPT, compress.MAG32, DefaultThresholdBits)},
+	}
+	comp = []Cell{{w, BaselineConfig("bdi", compress.MAG32)}}
+	return full, comp
+}
+
+// TestTrajectoryGolden pins the `slcbench -json` encoding byte-for-byte:
+// the Result schema, the JSON field set and the determinism of a fresh run
+// all feed the committed fixture. Regenerate deliberately with
+//
+//	go test ./internal/experiments/ -run TrajectoryGolden -update
+//
+// after an intentional schema or measurement change.
+func TestTrajectoryGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runner integration in -short mode")
+	}
+	full, comp := goldenCells(t)
+	r := NewRunner()
+	traj, err := CollectTrajectory(r, "golden", full, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := traj.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "bench_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trajectory diverged from %s (%d vs %d bytes); if the schema "+
+			"or measurement changed intentionally, regenerate with -update",
+			path, buf.Len(), len(want))
+	}
+}

@@ -1,0 +1,254 @@
+package resultstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// The index drives the LRU size-capped GC. It is advisory: the objects
+// directory is the source of truth, and reconcile rebuilds missing or stale
+// entries from it on Open (a writer that crashed between the object rename
+// and the index update loses nothing but an LRU timestamp). All index
+// mutations — and GC's deletes — happen under the store's lock file, which
+// serialises them across goroutines and processes sharing the directory.
+
+// indexEntry describes one record for eviction purposes.
+type indexEntry struct {
+	Size int64  `json:"size"`
+	Kind string `json:"kind,omitempty"`
+	Used int64  `json:"used"` // unix nanoseconds of last hit or put
+}
+
+// indexFile is the persisted index.
+type indexFile struct {
+	V       int                   `json:"v"`
+	Entries map[string]indexEntry `json:"entries"`
+}
+
+func (s *Store) indexPath() string { return filepath.Join(s.dir, "index.json") }
+func (s *Store) lockPath() string  { return filepath.Join(s.dir, "lock") }
+
+// lock acquires the store's advisory lock file, returning the unlock
+// function. The lock is a create-exclusive file holding a unique owner
+// token, retried with backoff. A lock older than lockStaleAfter is
+// presumed abandoned (a killed process) and stolen — by renaming it to a
+// unique name first, so exactly one of any number of racing stealers
+// wins, and a holder whose lock was stolen cannot later delete the
+// thief's lock: unlock only removes the file while it still carries the
+// owner's token.
+const (
+	lockStaleAfter = 10 * time.Second
+	lockRetryEvery = 2 * time.Millisecond
+	lockGiveUp     = 30 * time.Second
+)
+
+var lockSeq atomic.Int64
+
+func (s *Store) lock() (func(), error) {
+	path := s.lockPath()
+	token := fmt.Sprintf("%d-%d-%d\n", os.Getpid(), lockSeq.Add(1), time.Now().UnixNano())
+	deadline := time.Now().Add(lockGiveUp)
+	for {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o666)
+		if err == nil {
+			io.WriteString(f, token)
+			f.Close()
+			unlock := func() {
+				if cur, rerr := os.ReadFile(path); rerr == nil && string(cur) == token {
+					os.Remove(path)
+				}
+			}
+			return unlock, nil
+		}
+		if !os.IsExist(err) {
+			return nil, fmt.Errorf("resultstore: acquiring lock: %w", err)
+		}
+		if fi, serr := os.Stat(path); serr == nil && time.Since(fi.ModTime()) > lockStaleAfter {
+			// Abandoned lock: move it aside and retry the create. Rename is
+			// atomic, so concurrent stealers cannot delete each other's
+			// freshly created locks — the losers' renames just fail.
+			stale := fmt.Sprintf("%s.stale-%d-%d", path, os.Getpid(), lockSeq.Add(1))
+			if os.Rename(path, stale) == nil {
+				os.Remove(stale)
+			}
+			continue
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("resultstore: lock %s held too long", path)
+		}
+		time.Sleep(lockRetryEvery)
+	}
+}
+
+// loadIndex reads the index, tolerating a missing or corrupt file (an empty
+// index; reconcile or subsequent puts rebuild it).
+func (s *Store) loadIndex() *indexFile {
+	idx := &indexFile{V: SchemaVersion, Entries: make(map[string]indexEntry)}
+	data, err := os.ReadFile(s.indexPath())
+	if err != nil {
+		return idx
+	}
+	var onDisk indexFile
+	if json.Unmarshal(data, &onDisk) != nil || onDisk.V != SchemaVersion || onDisk.Entries == nil {
+		return idx
+	}
+	return &onDisk
+}
+
+// saveIndex writes the index atomically. Callers hold the lock.
+func (s *Store) saveIndex(idx *indexFile) error {
+	data, err := json.MarshalIndent(idx, "", " ")
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	return atomicWrite(s.indexPath(), append(data, '\n'))
+}
+
+// updateIndex applies fn to the index under the lock and persists it.
+func (s *Store) updateIndex(fn func(*indexFile)) error {
+	unlock, err := s.lock()
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	idx := s.loadIndex()
+	fn(idx)
+	return s.saveIndex(idx)
+}
+
+// indexPut records a fresh object (folding in any pending LRU refreshes)
+// and evicts past the size cap.
+func (s *Store) indexPut(k Key, kind string, size int64) error {
+	pending := s.drainTouches()
+	return s.updateIndex(func(idx *indexFile) {
+		s.applyTouches(idx, pending)
+		idx.Entries[k.Hex()] = indexEntry{Size: size, Kind: kind, Used: time.Now().UnixNano()}
+		s.evict(idx)
+	})
+}
+
+// touchFlushBatch bounds how many pending LRU refreshes accumulate before
+// they are forced to disk.
+const touchFlushBatch = 64
+
+// touch queues a record's LRU-timestamp refresh after a hit. Touches are
+// batched — flushed under one lock on the next Put or every
+// touchFlushBatch hits — so a warm (read-only) run is not serialised on
+// one index rewrite per hit and typically leaves the store untouched.
+// Unflushed touches at process exit only cost LRU accuracy; the index is
+// advisory.
+func (s *Store) touch(k Key) {
+	s.touchMu.Lock()
+	if s.touched == nil {
+		s.touched = make(map[string]int64)
+	}
+	s.touched[k.Hex()] = time.Now().UnixNano()
+	flush := len(s.touched) >= touchFlushBatch
+	s.touchMu.Unlock()
+	if flush {
+		// Best-effort: an unlockable or unwritable index only degrades
+		// eviction order.
+		pending := s.drainTouches()
+		_ = s.updateIndex(func(idx *indexFile) { s.applyTouches(idx, pending) })
+	}
+}
+
+// drainTouches takes the pending refreshes.
+func (s *Store) drainTouches() map[string]int64 {
+	s.touchMu.Lock()
+	pending := s.touched
+	s.touched = nil
+	s.touchMu.Unlock()
+	return pending
+}
+
+// applyTouches folds drained refreshes into the index. Callers hold the
+// lock.
+func (s *Store) applyTouches(idx *indexFile, pending map[string]int64) {
+	for hex, used := range pending {
+		e, ok := idx.Entries[hex]
+		if !ok {
+			// Object exists but predates the index (crash, external copy):
+			// adopt it.
+			fi, err := os.Stat(filepath.Join(s.dir, "objects", hex[:2], hex))
+			if err != nil {
+				continue
+			}
+			e = indexEntry{Size: fi.Size()}
+		}
+		if used > e.Used {
+			e.Used = used
+		}
+		idx.Entries[hex] = e
+	}
+}
+
+// evict deletes least-recently-used objects until the total size fits the
+// cap. Callers hold the lock.
+func (s *Store) evict(idx *indexFile) {
+	if s.maxBytes < 0 {
+		return
+	}
+	var total int64
+	for _, e := range idx.Entries {
+		total += e.Size
+	}
+	if total <= s.maxBytes {
+		return
+	}
+	type kv struct {
+		hex string
+		e   indexEntry
+	}
+	order := make([]kv, 0, len(idx.Entries))
+	for h, e := range idx.Entries {
+		order = append(order, kv{h, e})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].e.Used != order[j].e.Used {
+			return order[i].e.Used < order[j].e.Used
+		}
+		return order[i].hex < order[j].hex
+	})
+	for _, it := range order {
+		if total <= s.maxBytes {
+			break
+		}
+		os.Remove(filepath.Join(s.dir, "objects", it.hex[:2], it.hex))
+		total -= it.e.Size
+		delete(idx.Entries, it.hex)
+	}
+}
+
+// reconcile aligns the index with the objects directory on Open: entries
+// whose object vanished are dropped, objects missing from the index are
+// adopted with their mtime as the LRU timestamp, and the size cap is
+// enforced.
+func (s *Store) reconcile() error {
+	return s.updateIndex(func(idx *indexFile) {
+		onDisk := make(map[string]indexEntry)
+		root := filepath.Join(s.dir, "objects")
+		filepath.Walk(root, func(path string, fi os.FileInfo, err error) error {
+			if err != nil || fi.IsDir() || len(fi.Name()) != 64 {
+				return nil
+			}
+			e := indexEntry{Size: fi.Size(), Used: fi.ModTime().UnixNano()}
+			if prev, ok := idx.Entries[fi.Name()]; ok {
+				e.Kind = prev.Kind
+				if prev.Used > e.Used {
+					e.Used = prev.Used
+				}
+			}
+			onDisk[fi.Name()] = e
+			return nil
+		})
+		idx.Entries = onDisk
+		s.evict(idx)
+	})
+}

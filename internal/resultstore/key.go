@@ -1,0 +1,98 @@
+package resultstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strings"
+)
+
+// SchemaVersion is the store schema version, mixed into every key. Bump it
+// whenever the record formats, the key material layout, or the semantics of
+// any cached computation change: old records then address different keys and
+// are recomputed (and eventually evicted by GC) instead of being trusted.
+const SchemaVersion = 1
+
+// Key is the content address of one record: SHA-256 over a canonical
+// encoding of the key material plus the store's schema version and code
+// fingerprint.
+type Key struct{ sum [sha256.Size]byte }
+
+// Hex returns the lowercase hex form of the key (the on-disk object name).
+func (k Key) Hex() string { return hex.EncodeToString(k.sum[:]) }
+
+// String implements fmt.Stringer.
+func (k Key) String() string { return k.Hex() }
+
+// Material is the key material of one record: a flat map from field name to
+// value. Values must be JSON-encodable; nested structs and maps are fine.
+// The encoding is canonical — map keys are sorted, struct fields appear in
+// declaration order — so two materials with equal contents hash equal no
+// matter the order they were assembled in.
+type Material map[string]any
+
+// NewKey derives the content address for one record. kind namespaces the
+// record type ("golden", "table", "cell", ...), fingerprint binds the key to
+// the code that produced the value (see Fingerprint), and the schema version
+// is always included.
+func NewKey(fingerprint, kind string, m Material) (Key, error) {
+	enc, err := canonicalJSON(m)
+	if err != nil {
+		return Key{}, fmt.Errorf("resultstore: encoding key material for %q: %w", kind, err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "slc-resultstore/v%d\x00%s\x00%s\x00", SchemaVersion, fingerprint, kind)
+	h.Write(enc)
+	var k Key
+	h.Sum(k.sum[:0])
+	return k, nil
+}
+
+// canonicalJSON encodes v deterministically: encoding/json sorts map keys
+// and emits struct fields in declaration order, both stable for a given
+// schema version. HTML escaping is irrelevant to hashing but kept default so
+// the encoding matches what json.Marshal of the same value produces.
+func canonicalJSON(v any) ([]byte, error) {
+	return json.Marshal(v)
+}
+
+// Fingerprint derives the code fingerprint mixed into every key of a store
+// opened without an explicit Options.Fingerprint. It digests the build
+// information of the running binary: the main module version and checksum
+// when stamped, the VCS revision and dirty flag when the binary was built
+// from a checkout, and every dependency's version+sum. Binaries built from
+// different code therefore address different keys.
+//
+// Test binaries and `go run` builds often carry no VCS stamp and a "(devel)"
+// version; they fall back to a constant "dev" fingerprint. For those builds
+// the schema version is the only code-level invalidation, so callers that
+// need stronger guarantees (CI) should additionally key their cache on a
+// source hash — see .github/workflows/ci.yml.
+func Fingerprint() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	var parts []string
+	if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		parts = append(parts, "main="+bi.Main.Version+"+"+bi.Main.Sum)
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision", "vcs.modified":
+			parts = append(parts, s.Key+"="+s.Value)
+		}
+	}
+	for _, dep := range bi.Deps {
+		parts = append(parts, "dep="+dep.Path+"@"+dep.Version+"+"+dep.Sum)
+	}
+	if len(parts) == 0 {
+		return "dev"
+	}
+	sort.Strings(parts)
+	sum := sha256.Sum256([]byte(strings.Join(parts, "\n")))
+	return hex.EncodeToString(sum[:])[:16]
+}

@@ -1,0 +1,28 @@
+package workloads
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// GenVersion identifies the deterministic input-generation scheme shared by
+// every workload (gen.go's PRNG, quantisation steps and the per-workload
+// sizes/seeds). Bump it whenever any generator or workload input layout
+// changes: the content-addressed result store keys golden runs, entropy
+// tables and cell results on Fingerprint, so a bump invalidates all of them
+// instead of serving results for data that no longer exists.
+const GenVersion = 1
+
+// Fingerprint returns a stable content fingerprint for the workload's
+// generated regions. Inputs are synthesised deterministically from the
+// workload identity and its fixed generator parameters (captured by Info)
+// under the GenVersion scheme, so equal fingerprints imply bitwise-equal
+// generated inputs — the property the result store's keys rest on.
+func Fingerprint(w Workload) string {
+	in := w.Info()
+	h := sha256.New()
+	fmt.Fprintf(h, "workloads/gen-v%d|%s|%s|%s|%s|ar=%d",
+		GenVersion, in.Name, in.Short, in.Input, in.Metric, in.AR)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

@@ -1,0 +1,20 @@
+package workloads
+
+import "testing"
+
+func TestFingerprintsAreStableAndDistinct(t *testing.T) {
+	seen := make(map[string]string)
+	for _, w := range Registry() {
+		fp := Fingerprint(w)
+		if len(fp) != 16 {
+			t.Errorf("%s: fingerprint %q is not 16 hex chars", w.Info().Name, fp)
+		}
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("fingerprint collision: %s and %s both map to %s", prev, w.Info().Name, fp)
+		}
+		seen[fp] = w.Info().Name
+		if again := Fingerprint(w); again != fp {
+			t.Errorf("%s: fingerprint unstable across calls (%s vs %s)", w.Info().Name, fp, again)
+		}
+	}
+}
