@@ -7,6 +7,7 @@
 //	slcbench -fig 7               # one figure (1, 2, 7, 8, 9)
 //	slcbench -table 1             # one table (1, 2, 3)
 //	slcbench -fig 7 -json         # machine-readable cell results
+//	slcbench -matrix smoke -json  # a named cell subset (see -list-matrix)
 //	slcbench -all -out report.txt -v
 //
 // -parallel N executes the evaluation matrix on N workers (0 = all cores)
@@ -16,6 +17,13 @@
 // bitwise-identical results. -json replaces the text report with a JSON
 // dump of every executed cell — the format the bench trajectory is
 // recorded in.
+//
+// -matrix NAME runs a named subset of the evaluation matrix (registered in
+// internal/experiments; -list-matrix prints the set with descriptions) —
+// e.g. `smoke` is CI's every-push slice and `new-codecs` covers the
+// post-paper codec families (lz4b, zcd). The text output is one line per
+// cell; with -json the subset is emitted as a trajectory like any other
+// target.
 //
 // -store DIR persists memoised results (golden runs, entropy tables, cell
 // measurements) to a content-addressed store in DIR; a second identical
@@ -45,14 +53,24 @@ func main() {
 		fig       = flag.Int("fig", 0, "regenerate one figure (1, 2, 7, 8, 9)")
 		table     = flag.Int("table", 0, "regenerate one table (1, 2, 3)")
 		ablations = flag.Bool("ablations", false, "run the ablation study")
+		matrix    = flag.String("matrix", "", "run a named cell subset of the evaluation matrix (see -list-matrix)")
+		listMat   = flag.Bool("list-matrix", false, "list registered matrix subsets and exit")
 		out       = flag.String("out", "", "write output to this file instead of stdout")
 		parallel  = flag.Int("parallel", 1, "evaluation workers (0 = all cores, 1 = serial)")
 		simw      = flag.Int("simworkers", 1, "worker goroutines per sharded timing simulation (0 = all cores, 1 = serial engine)")
-		asJSON    = flag.Bool("json", false, "emit the executed cells as JSON instead of the text report (-all, -fig, -ablations)")
+		asJSON    = flag.Bool("json", false, "emit the executed cells as JSON instead of the text report (-all, -fig, -ablations, -matrix)")
 		verbose   = flag.Bool("v", false, "log per-run progress to stderr")
 		store     = storeflag.Register()
 	)
 	flag.Parse()
+
+	if *listMat {
+		for _, name := range experiments.MatrixNames() {
+			m, _ := experiments.LookupMatrix(name)
+			fmt.Printf("%-14s %s\n", name, m.Desc)
+		}
+		return
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -97,13 +115,20 @@ func main() {
 		if len(full)+len(comp) == 0 {
 			log.Fatalf("unknown figure %d (have 1, 2, 7, 8, 9)", *fig)
 		}
+	case *matrix != "":
+		target = "matrix:" + *matrix
+		var merr error
+		full, comp, merr = experiments.MatrixCells(*matrix)
+		if merr != nil {
+			log.Fatal(merr)
+		}
 	}
 
 	// Warm the runner's memo across a worker pool; the output below then
 	// reads memoised results and is byte-identical to a serial run.
 	// (-table targets render static configuration tables; there is nothing
 	// to parallelise.)
-	if *parallel != 1 || *asJSON {
+	if *parallel != 1 || *asJSON || *matrix != "" {
 		if len(full) > 0 {
 			if _, err := r.RunAll(full, *parallel); err != nil {
 				log.Fatal(err)
@@ -118,7 +143,7 @@ func main() {
 
 	if *asJSON {
 		if target == "" {
-			log.Fatal("-json needs -all, -fig or -ablations")
+			log.Fatal("-json needs -all, -fig, -ablations or -matrix")
 		}
 		if err := emitJSON(w, r, target, full, comp); err != nil {
 			log.Fatal(err)
@@ -152,6 +177,10 @@ func main() {
 		if err := runFigure(w, r, *fig); err != nil {
 			log.Fatal(err)
 		}
+	case *matrix != "":
+		if err := printMatrix(w, r, *matrix, full, comp); err != nil {
+			log.Fatal(err)
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -166,6 +195,32 @@ func emitJSON(w io.Writer, r *experiments.Runner, target string, full, comp []ex
 		return err
 	}
 	return traj.WriteJSON(w)
+}
+
+// printMatrix renders a named subset as one line per cell, reading the
+// memoised results warmed above (so the -parallel setting cannot change the
+// output).
+func printMatrix(w io.Writer, r *experiments.Runner, name string, full, comp []experiments.Cell) error {
+	m, _ := experiments.LookupMatrix(name)
+	fmt.Fprintf(w, "matrix %s: %s\n", name, m.Desc)
+	for _, c := range full {
+		res, err := r.Run(c.Workload, c.Config)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-6s × %-20s %10.1f µs  CR %.2f/%.2f  err %.4f%%\n",
+			res.Workload, res.Config.Name, res.Sim.TimeNs/1e3,
+			res.Comp.RawRatio(), res.Comp.EffectiveRatio(), res.ErrorFrac*100)
+	}
+	for _, c := range comp {
+		st, err := r.CompressionOnly(c.Workload, c.Config)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-6s × %-20s compression only   CR %.2f/%.2f\n",
+			c.Workload.Info().Name, c.Config.Name, st.RawRatio(), st.EffectiveRatio())
+	}
+	return nil
 }
 
 func runFigure(w io.Writer, r *experiments.Runner, fig int) error {

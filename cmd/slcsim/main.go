@@ -6,11 +6,14 @@
 //
 //	slcsim -bench NN -codec tslc-opt -mag 32 -threshold 16
 //	slcsim -bench DCT -codec e2mc -parallel 0
+//	slcsim -bench TP -codec lz4b
 //	slcsim -list
 //	slcsim -list-codecs
 //
 // The codec is selected by its registry name (compress.Names); an unknown
-// name fails with the available set.
+// name fails with the available set. That set includes the post-paper
+// families registered through the same mechanism (lz4b, zcd — see the
+// README's codec table); they need no special flags.
 package main
 
 import (

@@ -7,11 +7,13 @@
 //	slctrace -bench SRAD1
 //	slctrace -bench BS -mag 64
 //	slctrace -bench NN -codec bdi -parallel 0
+//	slctrace -bench TP -codec zcd
 //	slctrace -bench DCT -sim -simworkers 0
 //
 // The codec is selected by its registry name and validated against
-// compress.Names; lossy codecs (tslc-*) trace their lossless base on exact
-// regions as the runner does. -sim additionally replays the recorded trace
+// compress.Names — including the post-paper families (lz4b, zcd); lossy
+// codecs (tslc-*) trace their lossless base on exact regions as the runner
+// does. -sim additionally replays the recorded trace
 // through the timing simulator; -simworkers shards the replay across event
 // lanes (results are identical to the serial engine).
 package main

@@ -1,6 +1,8 @@
-// Codec comparison: run one benchmark's memory image through all four
-// lossless codecs of the paper's Figure 1 and compare raw vs effective
-// compression ratio at 32-byte memory access granularity.
+// Codec comparison: run one benchmark's memory image through the six
+// lossless codecs of the paper's Figure 1 (BDI, FPC, C-PACK, E2MC, BPC,
+// HyComp) and compare raw vs effective compression ratio at 32-byte memory
+// access granularity. For the post-paper families (lz4b, zcd) see
+// examples/matrix_subsets or `slcbench -matrix new-codecs`.
 //
 // Run with: go run ./examples/codec_comparison [-bench TP]
 package main

@@ -12,5 +12,7 @@ import (
 	_ "repro/internal/compress/e2mc"
 	_ "repro/internal/compress/fpc"
 	_ "repro/internal/compress/hycomp"
+	_ "repro/internal/compress/lz4b"
+	_ "repro/internal/compress/zcd"
 	_ "repro/internal/slc"
 )

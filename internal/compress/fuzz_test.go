@@ -2,6 +2,7 @@ package compress_test
 
 import (
 	"bytes"
+	"encoding/binary"
 	"sort"
 	"testing"
 
@@ -20,7 +21,11 @@ import (
 // is assigned to a family.
 
 var fuzzFamilies = map[string][]string{
-	"word":    {"bdi", "bpc", "cpack", "fpc"},         // 32-bit-word codecs
+	// 32-bit-word codecs plus the byte/sector dedup pair (lz4b's window
+	// matcher and zcd's sector classifier share the word family's seeds:
+	// the 1024-bit boundary sweep and the zero/repeat blocks are exactly
+	// their interesting inputs).
+	"word":    {"bdi", "bpc", "cpack", "fpc", "lz4b", "zcd"},
 	"entropy": {"e2mc", "hycomp", "raw"},              // table-driven + identity
 	"slc":     {"tslc-simp", "tslc-pred", "tslc-opt"}, // lossy TSLC variants
 }
@@ -183,6 +188,24 @@ func addSeeds(f *testing.F) {
 		compress.PutWords(block, words)
 		f.Add(block)
 	}
+	// One seed per zcd sector shape at 32 B MAG — zero, repeated word,
+	// literal, repeated word — which is also an lz4b stream mixing long
+	// overlapping matches with an incompressible span.
+	mixed := make([]byte, compress.BlockSize)
+	for i := 32; i < 64; i += 4 {
+		binary.LittleEndian.PutUint32(mixed[i:], 0x40490FDB)
+	}
+	x := uint32(0x9E3779B9)
+	for i := 64; i < 96; i += 4 {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		binary.LittleEndian.PutUint32(mixed[i:], x)
+	}
+	for i := 96; i < 128; i += 4 {
+		binary.LittleEndian.PutUint32(mixed[i:], 0x40490FDB)
+	}
+	f.Add(mixed)
 }
 
 // fuzzFamily runs one family's codecs over a normalised fuzz input.

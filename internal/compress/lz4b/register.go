@@ -1,0 +1,14 @@
+package lz4b
+
+import "repro/internal/compress"
+
+func init() {
+	compress.Register("lz4b", compress.Info{
+		New: func(compress.BuildContext) (compress.Codec, error) { return Codec{}, nil },
+		// Hash-chain matching is the serial part of the pipeline: one probe
+		// round per block position dominates compression; decompression is a
+		// straight token replay, comparable to C-PACK's dictionary rebuild.
+		CompressCycles:   10,
+		DecompressCycles: 6,
+	})
+}

@@ -1,0 +1,119 @@
+package compress_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/compress"
+	_ "repro/internal/compress/all" // register every codec
+)
+
+// TestReadmeCodecTable pins the README's codec-family table to the registry:
+// one row per compress.Names() entry, with the Type and Table columns
+// matching the registration traits. Registering a codec without adding a
+// table row — or documenting a codec that does not exist — fails here, so
+// the docs cannot drift from the code.
+func TestReadmeCodecTable(t *testing.T) {
+	rows := readmeCodecRows(t)
+
+	registered := compress.Names()
+	for _, name := range registered {
+		row, ok := rows[name]
+		if !ok {
+			t.Errorf("codec %q is registered but has no row in the README codec table", name)
+			continue
+		}
+		info, _ := compress.Lookup(name)
+		wantType := "lossless"
+		switch {
+		case info.Identity:
+			wantType = "identity"
+		case info.Lossy:
+			wantType = "lossy"
+		}
+		if row.typ != wantType {
+			t.Errorf("README row for %q says Type %q, registration traits say %q", name, row.typ, wantType)
+		}
+		wantTable := "–"
+		if info.NeedsTable {
+			wantTable = "yes"
+		}
+		if row.table != wantTable {
+			t.Errorf("README row for %q says Table %q, registration traits say %q", name, row.table, wantTable)
+		}
+		if strings.TrimSpace(row.source) == "" {
+			t.Errorf("README row for %q has an empty Source column", name)
+		}
+	}
+	for name := range rows {
+		if _, ok := compress.Lookup(name); !ok {
+			t.Errorf("README codec table documents %q, which is not a registered codec", name)
+		}
+	}
+}
+
+type codecRow struct {
+	typ, table, source string
+}
+
+// readmeCodecRows parses the README table between the codec-table markers
+// into registry-name → row.
+func readmeCodecRows(t *testing.T) map[string]codecRow {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatalf("reading README: %v", err)
+	}
+	const begin, end = "<!-- codec-table:begin -->", "<!-- codec-table:end -->"
+	text := string(data)
+	i := strings.Index(text, begin)
+	j := strings.Index(text, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("README is missing the %s / %s markers around the codec table", begin, end)
+	}
+	rows := make(map[string]codecRow)
+	for _, line := range strings.Split(text[i+len(begin):j], "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "|") {
+			continue
+		}
+		cells := strings.Split(strings.Trim(line, "|"), "|")
+		if len(cells) != 4 {
+			t.Fatalf("codec table row has %d columns, want 4: %q", len(cells), line)
+		}
+		name := strings.TrimSpace(cells[0])
+		if !strings.HasPrefix(name, "`") { // header and separator rows
+			continue
+		}
+		name = strings.Trim(name, "`")
+		if _, dup := rows[name]; dup {
+			t.Errorf("README codec table has two rows for %q", name)
+		}
+		rows[name] = codecRow{
+			typ:    strings.TrimSpace(cells[1]),
+			table:  strings.TrimSpace(cells[2]),
+			source: strings.TrimSpace(cells[3]),
+		}
+	}
+	if len(rows) == 0 {
+		t.Fatal("README codec table has no codec rows")
+	}
+	return rows
+}
+
+// TestReadmeArchitectureLink asserts docs/ARCHITECTURE.md exists and the
+// README links to it (acceptance criterion of the documentation pass).
+func TestReadmeArchitectureLink(t *testing.T) {
+	if _, err := os.Stat(filepath.Join("..", "..", "docs", "ARCHITECTURE.md")); err != nil {
+		t.Fatalf("docs/ARCHITECTURE.md: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "docs/ARCHITECTURE.md") {
+		t.Error("README does not link docs/ARCHITECTURE.md")
+	}
+}

@@ -62,12 +62,13 @@ func testBlocks(n int) [][]byte {
 
 // TestRegistryComplete pins the registered codec set: the seven techniques
 // of the paper's evaluation (the three TSLC variants sharing the slc
-// package) plus
-// the raw baseline. A new codec package extends this by a Register call.
+// package), the raw baseline, and the two post-paper families added through
+// the registry (lz4b, zcd). A new codec package extends this by a Register
+// call.
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"bdi", "bpc", "cpack", "e2mc", "fpc", "hycomp",
-		"raw", "tslc-opt", "tslc-pred", "tslc-simp",
+		"bdi", "bpc", "cpack", "e2mc", "fpc", "hycomp", "lz4b",
+		"raw", "tslc-opt", "tslc-pred", "tslc-simp", "zcd",
 	}
 	got := compress.Names()
 	if len(got) != len(want) {

@@ -1,0 +1,23 @@
+package zcd
+
+import "repro/internal/compress"
+
+func init() {
+	compress.Register("zcd", compress.Info{
+		New: func(ctx compress.BuildContext) (compress.Codec, error) {
+			mag := ctx.MAG
+			if mag == 0 {
+				mag = compress.MAG32
+			}
+			return New(mag)
+		},
+		// A dedupable sector is recognised by a comparator tree and
+		// reconstructed by a broadcast fill: one cycle each way. The real
+		// cost of a zcd block is the metadata path — the MDC probe that
+		// learns the burst count — which the simulator already charges per
+		// compressed access, so the codec latencies must not double-count
+		// it.
+		CompressCycles:   1,
+		DecompressCycles: 1,
+	})
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/compress"
+	"repro/internal/slc"
+	"repro/internal/workloads"
+)
+
+// This file is the matrix-subset registry: a named subset of the evaluation
+// matrix is a function producing full-run and compression-only cells, so CI
+// and ad-hoc invocations can record a well-chosen slice of the trajectory
+// (`slcbench -matrix <name> -json`) without paying for the full sweep. Like
+// the codec registry, subsets self-register by name and everything above —
+// the cmd binaries, the golden trajectory fixture — selects them by name.
+
+// Matrix is one named cell subset of the evaluation matrix.
+type Matrix struct {
+	// Name is the registry name, lowercase, used by `slcbench -matrix`.
+	Name string
+
+	// Desc is a one-line description shown by `slcbench -list-matrix`.
+	Desc string
+
+	// Cells produces the subset: full cells run the complete measurement
+	// (timing, energy, error) through Runner.Run; comp cells run the
+	// compression-only pipeline through Runner.CompressionOnly. The
+	// function is called per use, so subsets defined against the codec or
+	// workload registries always reflect the current registered set.
+	Cells func() (full, comp []Cell)
+}
+
+var matrices = struct {
+	sync.RWMutex
+	m map[string]Matrix
+}{m: make(map[string]Matrix)}
+
+// RegisterMatrix adds a named cell subset. Like compress.Register it panics
+// on a duplicate or invalid registration: subsets are wired at init time and
+// a bad registration should fail at program start.
+func RegisterMatrix(m Matrix) {
+	if m.Name == "" {
+		panic("experiments: RegisterMatrix with empty name")
+	}
+	if m.Cells == nil {
+		panic(fmt.Sprintf("experiments: RegisterMatrix(%q) with nil Cells", m.Name))
+	}
+	matrices.Lock()
+	defer matrices.Unlock()
+	if _, dup := matrices.m[m.Name]; dup {
+		panic(fmt.Sprintf("experiments: RegisterMatrix(%q) called twice", m.Name))
+	}
+	matrices.m[m.Name] = m
+}
+
+// LookupMatrix returns the registration for a subset name.
+func LookupMatrix(name string) (Matrix, bool) {
+	matrices.RLock()
+	defer matrices.RUnlock()
+	m, ok := matrices.m[name]
+	return m, ok
+}
+
+// MatrixNames returns all registered subset names, sorted.
+func MatrixNames() []string {
+	matrices.RLock()
+	defer matrices.RUnlock()
+	names := make([]string, 0, len(matrices.m))
+	for name := range matrices.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MatrixCells resolves a subset name to its cells, with an error naming the
+// available set when the name is unknown.
+func MatrixCells(name string) (full, comp []Cell, err error) {
+	m, ok := LookupMatrix(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("experiments: unknown matrix subset %q (available: %v)", name, MatrixNames())
+	}
+	full, comp = m.Cells()
+	return full, comp, nil
+}
+
+// workloadByName scans the workload registry; a missing name yields no cells
+// rather than an error, so subsets stay total functions.
+func workloadByName(name string) (workloads.Workload, bool) {
+	for _, w := range workloads.Registry() {
+		if w.Info().Name == name {
+			return w, true
+		}
+	}
+	return nil, false
+}
+
+// NewCodecNames are the codec families added after the paper's original
+// evaluation set; the new-codecs subset and the README codec table track
+// them.
+var NewCodecNames = []string{"lz4b", "zcd"}
+
+func init() {
+	RegisterMatrix(Matrix{
+		Name: "fig2",
+		Desc: "the Figure 1/2 compression-only sweep at 32 B MAG (the full cached CI path)",
+		Cells: func() (full, comp []Cell) {
+			return nil, CompressionCells(compress.MAG32)
+		},
+	})
+	RegisterMatrix(Matrix{
+		Name: "lossless-only",
+		Desc: "every registered lossless codec (traits-driven, so new registrations join automatically) × every workload, compression only",
+		Cells: func() (full, comp []Cell) {
+			for _, w := range workloads.Registry() {
+				for _, name := range compress.Names() {
+					info, ok := compress.Lookup(name)
+					if !ok || info.Lossy || info.Identity {
+						continue
+					}
+					comp = append(comp, Cell{w, BaselineConfig(name, compress.MAG32)})
+				}
+			}
+			return nil, comp
+		},
+	})
+	RegisterMatrix(Matrix{
+		Name: "new-codecs",
+		Desc: "the post-paper codec families (lz4b, zcd): compression over every workload plus a timed TP cell each",
+		Cells: func() (full, comp []Cell) {
+			for _, w := range workloads.Registry() {
+				for _, name := range NewCodecNames {
+					comp = append(comp, Cell{w, BaselineConfig(name, compress.MAG32)})
+				}
+			}
+			if tp, ok := workloadByName("TP"); ok {
+				for _, name := range NewCodecNames {
+					full = append(full, Cell{tp, BaselineConfig(name, compress.MAG32)})
+				}
+			}
+			return full, comp
+		},
+	})
+	RegisterMatrix(Matrix{
+		Name: "smoke",
+		Desc: "CI's every-push subset: TP under raw/E2MC/TSLC-OPT (timed) and BDI/LZ4B/ZCD (compression only)",
+		Cells: func() (full, comp []Cell) {
+			tp, ok := workloadByName("TP")
+			if !ok {
+				return nil, nil
+			}
+			full = []Cell{
+				{tp, BaselineConfig("raw", compress.MAG32)},
+				{tp, E2MCConfig(compress.MAG32)},
+				{tp, TSLCConfig(slc.OPT, compress.MAG32, DefaultThresholdBits)},
+			}
+			for _, name := range append([]string{"bdi"}, NewCodecNames...) {
+				comp = append(comp, Cell{tp, BaselineConfig(name, compress.MAG32)})
+			}
+			return full, comp
+		},
+	})
+}

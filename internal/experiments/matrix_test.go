@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compress"
+)
+
+// TestMatrixRegistryResolves pins the built-in subset names and asserts
+// every registered subset resolves to cells whose codec names are valid
+// registry names — a subset referring to an unregistered codec would
+// otherwise only fail when someone runs it.
+func TestMatrixRegistryResolves(t *testing.T) {
+	want := []string{"fig2", "lossless-only", "new-codecs", "smoke"}
+	got := MatrixNames()
+	if len(got) < len(want) {
+		t.Fatalf("MatrixNames() = %v, want at least %v", got, want)
+	}
+	for _, name := range want {
+		if _, ok := LookupMatrix(name); !ok {
+			t.Errorf("built-in matrix subset %q not registered (have %v)", name, got)
+		}
+	}
+	for _, name := range got {
+		full, comp, err := MatrixCells(name)
+		if err != nil {
+			t.Fatalf("MatrixCells(%q): %v", name, err)
+		}
+		if len(full)+len(comp) == 0 {
+			t.Errorf("matrix subset %q resolves to no cells", name)
+		}
+		for _, c := range append(append([]Cell{}, full...), comp...) {
+			if _, ok := compress.Lookup(c.Config.Codec); !ok {
+				t.Errorf("matrix subset %q cell %s × %s names unregistered codec %q",
+					name, c.Workload.Info().Name, c.Config.Name, c.Config.Codec)
+			}
+			if c.Workload == nil {
+				t.Errorf("matrix subset %q has a cell with a nil workload", name)
+			}
+		}
+	}
+}
+
+// TestMatrixUnknownName asserts the error for a bad -matrix value names the
+// available set, matching the codec registry's behaviour.
+func TestMatrixUnknownName(t *testing.T) {
+	_, _, err := MatrixCells("no-such-subset")
+	if err == nil {
+		t.Fatal("MatrixCells(no-such-subset) succeeded")
+	}
+	if !strings.Contains(err.Error(), "smoke") {
+		t.Errorf("error %q does not list the available subsets", err)
+	}
+}
+
+// TestMatrixSmokeCoversNewCodecs asserts CI's every-push subset exercises
+// the post-paper codec families, so a bench.json trajectory exists for them
+// from the commit that introduced them onward.
+func TestMatrixSmokeCoversNewCodecs(t *testing.T) {
+	_, comp, err := MatrixCells("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := make(map[string]bool)
+	for _, c := range comp {
+		covered[c.Config.Codec] = true
+	}
+	for _, name := range NewCodecNames {
+		if !covered[name] {
+			t.Errorf("smoke subset does not cover new codec %q", name)
+		}
+	}
+}
+
+// TestRegisterMatrixValidates asserts the registration panics the same way
+// compress.Register does: subsets are wired at init time and a bad
+// registration should fail at program start, not at first use.
+func TestRegisterMatrixValidates(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty name", func() { RegisterMatrix(Matrix{Cells: func() ([]Cell, []Cell) { return nil, nil }}) })
+	mustPanic("nil Cells", func() { RegisterMatrix(Matrix{Name: "broken"}) })
+	mustPanic("duplicate", func() {
+		RegisterMatrix(Matrix{Name: "smoke", Cells: func() ([]Cell, []Cell) { return nil, nil }})
+	})
+}

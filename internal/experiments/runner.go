@@ -8,6 +8,12 @@
 // (concurrent requests for the same golden run, entropy table or result
 // compute once while the rest wait), and RunAll fans an evaluation matrix
 // across a worker pool with results identical to serial execution.
+//
+// Beyond the paper's figures, the package defines named subsets of the
+// evaluation matrix (RegisterMatrix/MatrixCells, the `slcbench -matrix`
+// registry) and the Trajectory type — the `slcbench -json` schema CI
+// records on every push, pinned byte-for-byte by the golden fixture under
+// testdata/.
 package experiments
 
 import (

@@ -6,24 +6,23 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
-
-	"repro/internal/compress"
-	"repro/internal/slc"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files under testdata/")
 
-// goldenCells is the tiny workload matrix the trajectory fixture pins: one
-// workload under the raw baseline, the lossless baseline and the paper's
-// main configuration, plus one compression-only cell.
+// goldenCells is the tiny workload matrix the trajectory fixture pins: the
+// `smoke` matrix subset, i.e. exactly the cells CI records on every push
+// with `slcbench -matrix smoke -json` — one workload under the raw
+// baseline, the lossless baseline and the paper's main configuration, plus
+// compression-only cells covering the post-paper codec families.
 func goldenCells(t *testing.T) (full, comp []Cell) {
-	w := tpWorkload(t)
-	full = []Cell{
-		{w, BaselineConfig("raw", compress.MAG32)},
-		{w, E2MCConfig(compress.MAG32)},
-		{w, TSLCConfig(slc.OPT, compress.MAG32, DefaultThresholdBits)},
+	full, comp, err := MatrixCells("smoke")
+	if err != nil {
+		t.Fatal(err)
 	}
-	comp = []Cell{{w, BaselineConfig("bdi", compress.MAG32)}}
+	if len(full) == 0 || len(comp) == 0 {
+		t.Fatalf("smoke matrix resolved to %d full and %d compression cells", len(full), len(comp))
+	}
 	return full, comp
 }
 
@@ -40,7 +39,7 @@ func TestTrajectoryGolden(t *testing.T) {
 	}
 	full, comp := goldenCells(t)
 	r := NewRunner()
-	traj, err := CollectTrajectory(r, "golden", full, comp)
+	traj, err := CollectTrajectory(r, "matrix:smoke", full, comp)
 	if err != nil {
 		t.Fatal(err)
 	}
