@@ -237,3 +237,80 @@ func BenchmarkAblationPrediction(b *testing.B) {
 		}
 	}
 }
+
+// decodeCorpora builds (once) the per-workload entropy-decode corpora the
+// decode benchmarks share: blocks sampled from each registered workload's
+// device image, encoded with that workload's trained table.
+var (
+	corporaOnce sync.Once
+	corpora     []*experiments.DecodeCorpus
+	corporaErr  error
+)
+
+func decodeCorpora() ([]*experiments.DecodeCorpus, error) {
+	corporaOnce.Do(func() {
+		for _, w := range workloads.Registry() {
+			c, err := experiments.BuildDecodeCorpus(sharedR(), w, 0)
+			if err != nil {
+				corporaErr = err
+				return
+			}
+			corpora = append(corpora, c)
+		}
+	})
+	return corpora, corporaErr
+}
+
+// benchDecode drives one decoder over every corpus block per iteration and
+// reports the mean ns/block. Compare BenchmarkDecodeLUT against
+// BenchmarkDecodeReference for the LUT fast-path speedup (the PR's
+// acceptance bar is ≥ 3×); `slcbench -decodebench` reports the same split
+// per workload.
+func benchDecode(b *testing.B, fn func(c *experiments.DecodeCorpus, it *experiments.DecodeItem) error) {
+	cs, err := decodeCorpora()
+	if err != nil {
+		b.Fatal(err)
+	}
+	blocks := 0
+	for _, c := range cs {
+		blocks += len(c.Items)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cs {
+			for j := range c.Items {
+				if err := fn(c, &c.Items[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*blocks), "ns/block")
+}
+
+// BenchmarkDecodeLUT times the table-driven decode fast path.
+func BenchmarkDecodeLUT(b *testing.B) {
+	benchDecode(b, func(c *experiments.DecodeCorpus, it *experiments.DecodeItem) error {
+		_, err := c.Table.DecodeWays(it.Payload, it.Starts, 0, 0)
+		return err
+	})
+}
+
+// BenchmarkDecodeReference times the retained bit-by-bit decoder.
+func BenchmarkDecodeReference(b *testing.B) {
+	benchDecode(b, func(c *experiments.DecodeCorpus, it *experiments.DecodeItem) error {
+		_, err := c.Table.DecodeWaysRef(it.Payload, it.Starts, 0, 0)
+		return err
+	})
+}
+
+// BenchmarkDecodeParallel times the gap-array parallel decoder. Per-block
+// goroutine fan-out only pays off against decode-side latency hiding, not
+// raw throughput — expect it to trail the serial LUT path here.
+func BenchmarkDecodeParallel(b *testing.B) {
+	benchDecode(b, func(c *experiments.DecodeCorpus, it *experiments.DecodeItem) error {
+		_, err := c.Table.DecodeWaysParallel(it.Payload, it.Starts, 0, 0, &it.Gaps)
+		return err
+	})
+}

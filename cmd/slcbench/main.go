@@ -30,6 +30,15 @@
 // invocation then recomputes nothing and emits bitwise-identical results
 // (observable via the Store hit counters in -json output). -store-clear
 // empties the store first.
+//
+// -decodebench times the three entropy decoders (LUT, bit-by-bit reference,
+// gap-array parallel) over corpora sampled from every registered workload.
+// Alone it prints a per-workload table; combined with -json (with or
+// without another target) the timings land in the trajectory's Decode
+// section, which CI uploads per push.
+//
+// -cpuprofile FILE / -memprofile FILE record pprof profiles of whatever the
+// invocation runs — see the README's "Profiling" section for the workflow.
 package main
 
 import (
@@ -42,6 +51,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/experiments"
 	"repro/internal/gpu/sim"
+	"repro/internal/profileflag"
 	"repro/internal/storeflag"
 )
 
@@ -59,10 +69,21 @@ func main() {
 		parallel  = flag.Int("parallel", 1, "evaluation workers (0 = all cores, 1 = serial)")
 		simw      = flag.Int("simworkers", 1, "worker goroutines per sharded timing simulation (0 = all cores, 1 = serial engine)")
 		asJSON    = flag.Bool("json", false, "emit the executed cells as JSON instead of the text report (-all, -fig, -ablations, -matrix)")
+		decodeb   = flag.Bool("decodebench", false, "time the entropy decoders over per-workload corpora (text table, or the trajectory's Decode section with -json)")
 		verbose   = flag.Bool("v", false, "log per-run progress to stderr")
 		store     = storeflag.Register()
+		prof      = profileflag.Register()
 	)
 	flag.Parse()
+
+	if err := prof.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	if *listMat {
 		for _, name := range experiments.MatrixNames() {
@@ -141,14 +162,34 @@ func main() {
 		}
 	}
 
+	// Decode benchmarks run against whatever tables the selected workloads
+	// train (memoised, so a -fig 2 run above shares them).
+	var dbench []experiments.DecodeBench
+	if *decodeb {
+		dbench, err = experiments.CollectDecodeBenches(r, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if target == "" {
+			target = "decode"
+		}
+	}
+
 	if *asJSON {
 		if target == "" {
-			log.Fatal("-json needs -all, -fig, -ablations or -matrix")
+			log.Fatal("-json needs -all, -fig, -ablations, -matrix or -decodebench")
 		}
-		if err := emitJSON(w, r, target, full, comp); err != nil {
+		if err := emitJSON(w, r, target, full, comp, dbench); err != nil {
 			log.Fatal(err)
 		}
 		return
+	}
+
+	if *decodeb {
+		printDecodeBenches(w, dbench)
+		if target == "decode" && *table == 0 {
+			return
+		}
 	}
 
 	switch {
@@ -188,13 +229,27 @@ func main() {
 }
 
 // emitJSON re-reads the memoised cells (warmed above) and writes the bench
-// trajectory, including the store's hit counters when one is attached.
-func emitJSON(w io.Writer, r *experiments.Runner, target string, full, comp []experiments.Cell) error {
+// trajectory, including the store's hit counters when one is attached and
+// the decode benchmarks when -decodebench was given.
+func emitJSON(w io.Writer, r *experiments.Runner, target string, full, comp []experiments.Cell, dbench []experiments.DecodeBench) error {
 	traj, err := experiments.CollectTrajectory(r, target, full, comp)
 	if err != nil {
 		return err
 	}
+	traj.Decode = dbench
 	return traj.WriteJSON(w)
+}
+
+// printDecodeBenches renders the -decodebench timings as a text table.
+func printDecodeBenches(w io.Writer, dbench []experiments.DecodeBench) {
+	fmt.Fprintf(w, "entropy decode (ns/block over sampled corpora)\n")
+	fmt.Fprintf(w, "  %-8s %7s %10s %10s %10s %9s\n",
+		"workload", "blocks", "LUT", "reference", "parallel", "speedup")
+	for _, d := range dbench {
+		fmt.Fprintf(w, "  %-8s %7d %10.1f %10.1f %10.1f %8.2fx\n",
+			d.Workload, d.Blocks, d.LUTNsPerBlock, d.RefNsPerBlock,
+			d.ParNsPerBlock, d.Speedup)
+	}
 }
 
 // printMatrix renders a named subset as one line per cell, reading the

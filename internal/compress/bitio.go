@@ -1,6 +1,9 @@
 package compress
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // BitWriter assembles a bitstream most-significant-bit first. All codecs in
 // this repository produce real bitstreams — compressed sizes are measured on
@@ -59,30 +62,91 @@ func (w *BitWriter) Len() int { return w.nbit }
 // zero.
 func (w *BitWriter) Bytes() []byte { return w.buf }
 
-// BitReader consumes a bitstream produced by BitWriter.
+// BitReader consumes a bitstream produced by BitWriter. Beyond the checked
+// ReadBits API it exposes an unchecked peek/skip fast path (PeekBits,
+// SkipBits, Overrun) for table-driven entropy decoders: peek a fixed window,
+// look the codeword up, consume its length, and batch the bounds check to
+// one Overrun call per decoded run instead of one error check per symbol.
 type BitReader struct {
 	buf []byte
-	pos int // bit position
+	pos int // bit position; may run past the end (see SkipBits/Overrun)
 }
 
 // NewBitReader returns a reader over buf.
 func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
+
+// Reset repoints the reader at buf and rewinds it to bit 0. It allows a
+// stack-allocated BitReader value to be reused across payloads without going
+// through NewBitReader's pointer (and potential heap allocation).
+func (r *BitReader) Reset(buf []byte) {
+	r.buf = buf
+	r.pos = 0
+}
+
+// peekWindowBits is the widest PeekBits window: load64 byte-aligns the
+// position first, so up to 7 of the 64 loaded bits are consumed by the
+// intra-byte shift.
+const peekWindowBits = 57
+
+// load64 returns 64 bits starting at the current position, MSB-aligned, with
+// zeros past the end of the stream. At least peekWindowBits of them are real
+// stream bits (or padding zeros); the tail path assembles the final bytes
+// individually so no read ever touches memory outside buf.
+func (r *BitReader) load64() uint64 {
+	i := r.pos >> 3
+	if i+8 <= len(r.buf) {
+		return binary.BigEndian.Uint64(r.buf[i:]) << uint(r.pos&7)
+	}
+	var v uint64
+	for j := 0; j < 8; j++ {
+		v <<= 8
+		if i+j >= 0 && i+j < len(r.buf) {
+			v |= uint64(r.buf[i+j])
+		}
+	}
+	return v << uint(r.pos&7)
+}
+
+// PeekBits returns the next n bits MSB first without consuming them, for n in
+// [0, 57]. Bits past the end of the stream read as zero; combine with
+// Overrun to detect truncated streams after a decode run. n outside the
+// supported window panics — it is a programming error, not a data error.
+func (r *BitReader) PeekBits(n int) uint64 {
+	if n < 0 || n > peekWindowBits {
+		panic(fmt.Sprintf("compress: PeekBits width %d out of [0, %d]", n, peekWindowBits))
+	}
+	return r.load64() >> (64 - uint(n)) // n == 0 shifts by 64, which Go defines as 0
+}
+
+// SkipBits advances the position by n bits with no bounds check: the
+// position may legally pass the end of the stream (further PeekBits return
+// zeros) so a decode loop can defer its error handling to one Overrun check.
+func (r *BitReader) SkipBits(n int) { r.pos += n }
+
+// Overrun reports whether the position has passed the end of the stream —
+// i.e. whether any skipped-over bit was fabricated zero padding rather than
+// stream data.
+func (r *BitReader) Overrun() bool { return r.pos > len(r.buf)*8 }
 
 // ReadBits reads the next n bits MSB first. n must be in [0, 64].
 func (r *BitReader) ReadBits(n int) (uint64, error) {
 	if n < 0 || n > 64 {
 		return 0, fmt.Errorf("compress: ReadBits width %d out of range", n)
 	}
-	if r.pos+n > len(r.buf)*8 {
+	if r.pos+n > len(r.buf)*8 || r.pos > len(r.buf)*8 {
 		return 0, fmt.Errorf("compress: bitstream exhausted at bit %d (want %d more)", r.pos, n)
 	}
-	var v uint64
-	for i := 0; i < n; i++ {
-		b := r.buf[r.pos>>3] >> uint(7-r.pos&7) & 1
-		v = v<<1 | uint64(b)
-		r.pos++
+	if n <= peekWindowBits {
+		v := r.load64() >> (64 - uint(n))
+		r.pos += n
+		return v, nil
 	}
-	return v, nil
+	hi := r.load64() >> 32
+	r.pos += 32
+	rest := n - 32
+	lo := r.load64() >> (64 - uint(rest))
+	r.pos += rest
+	return hi<<uint(rest) | lo, nil
 }
 
 // ReadBool reads a single bit.

@@ -74,6 +74,16 @@ type SizeOnly interface {
 	CompressedBits(block []byte) int
 }
 
+// Syncer is implemented by codecs that can run the pipeline's per-block sync
+// step — compress, and apply any lossy write-back into block in place —
+// without materialising a bitstream. It must be equivalent to
+// Compress followed (when Lossy) by Decompress copied over block: the same
+// bits, the same lossy flag, the same final block contents. The pipeline
+// prefers it because it keeps the per-block steady state allocation-free.
+type Syncer interface {
+	SyncBlock(block []byte) (bits int, lossy bool)
+}
+
 // CheckBlock validates that b is exactly one block long.
 func CheckBlock(b []byte) error {
 	if len(b) != BlockSize {
@@ -130,6 +140,9 @@ func (Raw) Compress(block []byte) Encoded {
 
 // CompressedBits implements SizeOnly.
 func (Raw) CompressedBits([]byte) int { return BlockBits }
+
+// SyncBlock implements Syncer; the identity codec never mutates the block.
+func (Raw) SyncBlock([]byte) (int, bool) { return BlockBits, false }
 
 // Decompress implements Codec.
 func (Raw) Decompress(enc Encoded, dst []byte) error {

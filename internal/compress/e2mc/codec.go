@@ -2,6 +2,7 @@ package e2mc
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/compress"
 )
@@ -50,13 +51,22 @@ func waySpan(way int) (int, int) {
 
 // EncodeWays entropy-codes the block's symbols into PDWs byte-aligned
 // bitstreams, omitting symbols in [skipStart, skipStart+skipLen) — the span
-// SLC truncates (skipLen 0 encodes everything). It returns the way payloads
-// and their sizes in bits before byte padding.
-func (t *Table) EncodeWays(syms [compress.SymbolsPerBlock]uint16, skipStart, skipLen int) (ways [PDWs][]byte, wayBits [PDWs]int) {
+// SLC truncates (skipLen 0 encodes everything). It returns the way payloads,
+// their sizes in bits before byte padding, and the gap-array checkpoints: the
+// bit offset within each way at every gapK-th in-way symbol boundary
+// (counting skipped symbols, whose offset simply does not advance).
+func (t *Table) EncodeWays(syms [compress.SymbolsPerBlock]uint16, skipStart, skipLen int) (ways [PDWs][]byte, wayBits [PDWs]int, gaps GapArray) {
+	gapK := t.gapK
+	if gapK == 0 {
+		gapK = DefaultGapK
+	}
 	for wy := 0; wy < PDWs; wy++ {
 		lo, hi := waySpan(wy)
 		w := compress.NewBitWriter(SymbolsPerWay * 8)
 		for i := lo; i < hi; i++ {
+			if j := i - lo; j > 0 && j%gapK == 0 {
+				gaps[wy*MaxGapsPerWay+j/gapK-1] = uint16(w.Len())
+			}
 			if i >= skipStart && i < skipStart+skipLen {
 				continue
 			}
@@ -66,17 +76,74 @@ func (t *Table) EncodeWays(syms [compress.SymbolsPerBlock]uint16, skipStart, ski
 		w.AlignByte()
 		ways[wy] = w.Bytes()
 	}
-	return ways, wayBits
+	return ways, wayBits, gaps
 }
 
-// DecodeWays reverses EncodeWays. wayStart holds the absolute byte offset of
-// each way within payload; symbols inside the skip span are left as zero for
-// the caller (SLC) to fill by prediction.
+// decodeSpan LUT-decodes the symbols with absolute index [lo, hi) from r
+// (already positioned at the first of them), skipping the SLC truncation
+// span. The hot loop peeks a maxLen-bit window, looks the codeword up, and
+// skips its length — no interface dispatch and no per-symbol error check:
+// reads past the end of the stream yield zero bits, and the single Overrun
+// check afterwards errors exactly when the bit-by-bit reference decoder
+// would (a symbol that consumed a fabricated bit pushes the position past
+// the end, and the position never moves back).
+func (t *Table) decodeSpan(r *compress.BitReader, lo, hi, skipStart, skipLen int, syms *[compress.SymbolsPerBlock]uint16) error {
+	maxLen := t.maxLen
+	lut := t.lut
+	for i := lo; i < hi; i++ {
+		if i >= skipStart && i < skipStart+skipLen {
+			continue
+		}
+		e := lut[r.PeekBits(maxLen)]
+		n := int(e & lutLenMask)
+		if n == 0 {
+			return fmt.Errorf("e2mc: symbol %d: invalid codeword", i)
+		}
+		r.SkipBits(n)
+		if e&lutEscape != 0 {
+			syms[i] = uint16(r.PeekBits(escapeRawBits))
+			r.SkipBits(escapeRawBits)
+		} else {
+			syms[i] = uint16(e >> lutSymbol)
+		}
+	}
+	if r.Overrun() {
+		return fmt.Errorf("e2mc: symbols [%d, %d): bitstream exhausted", lo, hi)
+	}
+	return nil
+}
+
+// DecodeWays reverses EncodeWays through the LUT fast path (falling back to
+// the reference decoder for tables too long-coded for a LUT). wayStart holds
+// the absolute byte offset of each way within payload; symbols inside the
+// skip span are left as zero for the caller (SLC) to fill by prediction.
 func (t *Table) DecodeWays(payload []byte, wayStart [PDWs]int, skipStart, skipLen int) ([compress.SymbolsPerBlock]uint16, error) {
+	if t.lut == nil {
+		return t.DecodeWaysRef(payload, wayStart, skipStart, skipLen)
+	}
+	var syms [compress.SymbolsPerBlock]uint16
+	var r compress.BitReader
+	for wy := 0; wy < PDWs; wy++ {
+		if wayStart[wy] < 0 || wayStart[wy] > len(payload) {
+			return syms, fmt.Errorf("e2mc: way %d starts at byte %d outside payload (%d bytes)", wy, wayStart[wy], len(payload))
+		}
+		r.Reset(payload[wayStart[wy]:])
+		lo, hi := waySpan(wy)
+		if err := t.decodeSpan(&r, lo, hi, skipStart, skipLen, &syms); err != nil {
+			return syms, fmt.Errorf("e2mc: way %d: %w", wy, err)
+		}
+	}
+	return syms, nil
+}
+
+// DecodeWaysRef is the retained bit-by-bit reference decoder. The LUT and
+// gap-array paths must produce bitwise-identical output (and must error
+// whenever it errors); FuzzDecodeLUT cross-checks all three.
+func (t *Table) DecodeWaysRef(payload []byte, wayStart [PDWs]int, skipStart, skipLen int) ([compress.SymbolsPerBlock]uint16, error) {
 	var syms [compress.SymbolsPerBlock]uint16
 	for wy := 0; wy < PDWs; wy++ {
-		if wayStart[wy] > len(payload) {
-			return syms, fmt.Errorf("e2mc: way %d starts at byte %d beyond payload (%d bytes)", wy, wayStart[wy], len(payload))
+		if wayStart[wy] < 0 || wayStart[wy] > len(payload) {
+			return syms, fmt.Errorf("e2mc: way %d starts at byte %d outside payload (%d bytes)", wy, wayStart[wy], len(payload))
 		}
 		r := compress.NewBitReader(payload[wayStart[wy]:])
 		lo, hi := waySpan(wy)
@@ -89,6 +156,57 @@ func (t *Table) DecodeWays(payload []byte, wayStart [PDWs]int, skipStart, skipLe
 				return syms, fmt.Errorf("e2mc: way %d symbol %d: %w", wy, i, err)
 			}
 			syms[i] = s
+		}
+	}
+	return syms, nil
+}
+
+// DecodeWaysParallel decodes one block's ways concurrently: the gap array
+// splits each way into segments of gapK symbols, and every (way, segment)
+// chunk decodes on its own goroutine into a disjoint index range of the
+// shared output. Output and errors are merged deterministically in chunk
+// order, so the result — values and error — is bitwise-identical to the
+// serial DecodeWays.
+func (t *Table) DecodeWaysParallel(payload []byte, wayStart [PDWs]int, skipStart, skipLen int, gaps *GapArray) ([compress.SymbolsPerBlock]uint16, error) {
+	var syms [compress.SymbolsPerBlock]uint16
+	if t.lut == nil {
+		return t.DecodeWaysRef(payload, wayStart, skipStart, skipLen)
+	}
+	gapK := t.gapK
+	if gapK == 0 {
+		gapK = DefaultGapK
+	}
+	segs := SymbolsPerWay / gapK
+	for wy := 0; wy < PDWs; wy++ {
+		if wayStart[wy] < 0 || wayStart[wy] > len(payload) {
+			return syms, fmt.Errorf("e2mc: way %d starts at byte %d outside payload (%d bytes)", wy, wayStart[wy], len(payload))
+		}
+	}
+	var errs [PDWs * SymbolsPerWay / DefaultGapK]error
+	var wg sync.WaitGroup
+	for wy := 0; wy < PDWs; wy++ {
+		way := payload[wayStart[wy]:]
+		lo, _ := waySpan(wy)
+		for s := 0; s < segs; s++ {
+			wg.Add(1)
+			go func(wy, s int) {
+				defer wg.Done()
+				var r compress.BitReader
+				r.Reset(way)
+				if s > 0 {
+					r.SkipBits(int(gaps[wy*MaxGapsPerWay+s-1]))
+				}
+				err := t.decodeSpan(&r, lo+s*gapK, lo+(s+1)*gapK, skipStart, skipLen, &syms)
+				if err != nil {
+					errs[wy*segs+s] = fmt.Errorf("e2mc: way %d: %w", wy, err)
+				}
+			}(wy, s)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return syms, err
 		}
 	}
 	return syms, nil
@@ -125,16 +243,25 @@ func (c *Codec) CompressedBits(block []byte) int {
 // Compress implements compress.Codec. Blocks that do not compress below the
 // uncompressed size are stored raw with no header.
 func (c *Codec) Compress(block []byte) compress.Encoded {
+	e, _ := c.CompressWithGaps(block)
+	return e
+}
+
+// CompressWithGaps compresses the block and also returns the sideband gap
+// array for DecompressParallel. The gap array is index metadata beside the
+// payload; it is never counted in Encoded.Bits, so compression figures are
+// unchanged. Raw-stored blocks return a zero gap array.
+func (c *Codec) CompressWithGaps(block []byte) (compress.Encoded, GapArray) {
 	if err := compress.CheckBlock(block); err != nil {
 		panic(err)
 	}
 	syms := compress.Symbols(block)
-	ways, wayBits := c.tab.EncodeWays(syms, 0, 0)
+	ways, wayBits, gaps := c.tab.EncodeWays(syms, 0, 0)
 	total := HeaderBits/8 + payloadBytes(wayBits)
 	if total*8 >= compress.BlockBits {
 		p := make([]byte, compress.BlockSize)
 		copy(p, block)
-		return compress.Encoded{Bits: compress.BlockBits, Payload: p}
+		return compress.Encoded{Bits: compress.BlockBits, Payload: p}, GapArray{}
 	}
 	w := compress.NewBitWriter(total * 8)
 	off := HeaderBits / 8
@@ -151,7 +278,25 @@ func (c *Codec) Compress(block []byte) compress.Encoded {
 	for wy := 0; wy < PDWs; wy++ {
 		buf = append(buf, ways[wy]...)
 	}
-	return compress.Encoded{Bits: total * 8, Payload: buf}
+	return compress.Encoded{Bits: total * 8, Payload: buf}, gaps
+}
+
+// parseHeader reads the parallel decoding pointers of a compressed block.
+// raw reports a block stored uncompressed (no header to parse).
+func parseHeader(e compress.Encoded) (starts [PDWs]int, raw bool, err error) {
+	if e.Bits >= compress.BlockBits {
+		return starts, true, nil
+	}
+	r := compress.NewBitReader(e.Payload)
+	starts[0] = HeaderBits / 8
+	for wy := 1; wy < PDWs; wy++ {
+		v, rerr := r.ReadBits(pdpBits)
+		if rerr != nil {
+			return starts, false, fmt.Errorf("e2mc: header: %w", rerr)
+		}
+		starts[wy] = int(v)
+	}
+	return starts, false, nil
 }
 
 // Decompress implements compress.Codec.
@@ -159,24 +304,44 @@ func (c *Codec) Decompress(e compress.Encoded, dst []byte) error {
 	if len(dst) < compress.BlockSize {
 		return fmt.Errorf("e2mc: dst too small (%d bytes)", len(dst))
 	}
-	if e.Bits >= compress.BlockBits {
+	starts, raw, err := parseHeader(e)
+	if err != nil {
+		return err
+	}
+	if raw {
 		if len(e.Payload) < compress.BlockSize {
 			return fmt.Errorf("e2mc: raw payload too short")
 		}
 		copy(dst, e.Payload[:compress.BlockSize])
 		return nil
 	}
-	r := compress.NewBitReader(e.Payload)
-	var starts [PDWs]int
-	starts[0] = HeaderBits / 8
-	for wy := 1; wy < PDWs; wy++ {
-		v, err := r.ReadBits(pdpBits)
-		if err != nil {
-			return fmt.Errorf("e2mc: header: %w", err)
-		}
-		starts[wy] = int(v)
-	}
 	syms, err := c.tab.DecodeWays(e.Payload, starts, 0, 0)
+	if err != nil {
+		return err
+	}
+	compress.PutSymbols(dst, syms)
+	return nil
+}
+
+// DecompressParallel decompresses a block produced by CompressWithGaps,
+// fanning the gap-array chunks across goroutines. The output is
+// bitwise-identical to Decompress on the same block.
+func (c *Codec) DecompressParallel(e compress.Encoded, gaps *GapArray, dst []byte) error {
+	if len(dst) < compress.BlockSize {
+		return fmt.Errorf("e2mc: dst too small (%d bytes)", len(dst))
+	}
+	starts, raw, err := parseHeader(e)
+	if err != nil {
+		return err
+	}
+	if raw {
+		if len(e.Payload) < compress.BlockSize {
+			return fmt.Errorf("e2mc: raw payload too short")
+		}
+		copy(dst, e.Payload[:compress.BlockSize])
+		return nil
+	}
+	syms, err := c.tab.DecodeWaysParallel(e.Payload, starts, 0, 0, gaps)
 	if err != nil {
 		return err
 	}

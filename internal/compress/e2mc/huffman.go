@@ -71,19 +71,22 @@ func lengthLimitedCodeLengths(weights []uint64, maxLen int) ([]uint8, error) {
 	}
 
 	// The optimal solution takes the first 2n-2 entries of the final list;
-	// each leaf's code length is its number of occurrences.
+	// each leaf's code length is its number of occurrences. Packages nest at
+	// most maxLen deep, so an explicit stack bounds the walk without
+	// recursion.
 	lengths := make([]uint8, n)
-	var count func(nd *node)
-	count = func(nd *node) {
-		if nd.item >= 0 {
-			lengths[nd.item]++
-			return
+	stack := make([]*node, 0, maxLen+2)
+	for _, top := range prev[:2*n-2] {
+		stack = append(stack[:0], top)
+		for len(stack) > 0 {
+			nd := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if nd.item >= 0 {
+				lengths[nd.item]++
+				continue
+			}
+			stack = append(stack, nd.b, nd.a)
 		}
-		count(nd.a)
-		count(nd.b)
-	}
-	for _, nd := range prev[:2*n-2] {
-		count(nd)
 	}
 	for i, l := range lengths {
 		if l == 0 || int(l) > maxLen {
@@ -166,7 +169,10 @@ func newCanonical(lens []uint8, maxLen int) (*canonical, error) {
 	return c, nil
 }
 
-// decode reads one canonical codeword from r and returns the item.
+// decode reads one canonical codeword from r and returns the item, walking
+// the stream one bit at a time through the interface-typed reader. This is
+// the retained reference decoder: the LUT fast path (table.go) must stay
+// bitwise-equivalent to it, which the FuzzDecodeLUT target cross-checks.
 func (c *canonical) decode(r interface{ ReadBits(int) (uint64, error) }) (int32, error) {
 	code := uint32(0)
 	for l := 1; l <= c.maxLen; l++ {

@@ -181,3 +181,26 @@ func TestCanonicalRejectsKraftViolation(t *testing.T) {
 		t.Error("expected Kraft violation error")
 	}
 }
+
+// BenchmarkTableBuild measures full table construction from trained
+// statistics: boundary package-merge code lengths (the iterative tree walk),
+// canonical code assignment, and the decode-LUT fill.
+func BenchmarkTableBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(51))
+	tr := NewTrainer()
+	for i := 0; i < 400; i++ {
+		if i%4 == 0 {
+			blk := make([]byte, compress.BlockSize)
+			rng.Read(blk)
+			tr.Sample(blk)
+			continue
+		}
+		tr.Sample(smoothFloatBlock(rng))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Build(0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -7,18 +7,22 @@ import (
 
 // Binary serialisation of trained tables, so the experiment result store can
 // persist them across runs. A table is fully determined by (maxLen, the
-// frequent symbols in item order, the per-item code lengths including the
-// escape entry): canonical codeword assignment and the decode acceleration
-// arrays are rebuilt deterministically, so an unmarshalled table encodes and
-// decodes bitwise-identically to the original.
+// gap-array interval, the frequent symbols in item order, the per-item code
+// lengths including the escape entry): canonical codeword assignment and the
+// decode acceleration arrays — including the decode LUT — are rebuilt
+// deterministically, so an unmarshalled table encodes and decodes
+// bitwise-identically to the original.
 
-// tableWireVersion tags the serialised layout; bump on any change.
-const tableWireVersion = 1
+// tableWireVersion tags the serialised layout; bump on any change. Version 2
+// added the gap-array interval byte after maxLen and tightened code-length
+// validation; version-1 records are rejected, which the experiment runner
+// treats as "recompute the table".
+const tableWireVersion = 2
 
 // MarshalBinary implements encoding.BinaryMarshaler.
 func (t *Table) MarshalBinary() ([]byte, error) {
 	buf := make([]byte, 0, 8+2*len(t.syms)+len(t.canon.lens))
-	buf = append(buf, tableWireVersion, byte(t.maxLen))
+	buf = append(buf, tableWireVersion, byte(t.maxLen), byte(t.gapK))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.syms)))
 	for _, s := range t.syms {
 		buf = binary.LittleEndian.AppendUint16(buf, s)
@@ -31,9 +35,10 @@ func (t *Table) MarshalBinary() ([]byte, error) {
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler, rebuilding the
-// canonical code and lookup arrays from the serialised lengths.
+// canonical code, the lookup arrays, and the decode LUT from the serialised
+// lengths.
 func (t *Table) UnmarshalBinary(data []byte) error {
-	if len(data) < 6 {
+	if len(data) < 7 {
 		return fmt.Errorf("e2mc: table record too short (%d bytes)", len(data))
 	}
 	if data[0] != tableWireVersion {
@@ -43,20 +48,33 @@ func (t *Table) UnmarshalBinary(data []byte) error {
 	if maxLen < 1 || maxLen > 32 {
 		return fmt.Errorf("e2mc: table record maxLen %d out of range", maxLen)
 	}
-	n := int(binary.LittleEndian.Uint32(data[2:]))
+	gapK := int(data[2])
+	switch gapK {
+	case 4, 8, 16:
+	default:
+		return fmt.Errorf("e2mc: table record gap interval %d not one of 4, 8, 16", gapK)
+	}
+	n := int(binary.LittleEndian.Uint32(data[3:]))
 	if n < 1 || n > 1<<16 {
 		return fmt.Errorf("e2mc: table record with %d symbols", n)
 	}
-	want := 6 + 2*n + n + 1
+	want := 7 + 2*n + n + 1
 	if len(data) != want {
 		return fmt.Errorf("e2mc: table record is %d bytes, want %d for %d symbols", len(data), want, n)
 	}
 	syms := make([]uint16, n)
 	for i := range syms {
-		syms[i] = binary.LittleEndian.Uint16(data[6+2*i:])
+		syms[i] = binary.LittleEndian.Uint16(data[7+2*i:])
 	}
 	lens := make([]uint8, n+1)
-	copy(lens, data[6+2*n:])
+	copy(lens, data[7+2*n:])
+	for i, l := range lens {
+		// A zero length would silently corrupt canonical codeword
+		// assignment downstream, so reject it here with the range check.
+		if l < 1 || int(l) > maxLen {
+			return fmt.Errorf("e2mc: table record code length %d for item %d out of [1, %d]", l, i, maxLen)
+		}
+	}
 
 	seen := make(map[uint16]bool, n)
 	for _, s := range syms {
@@ -77,6 +95,7 @@ func (t *Table) UnmarshalBinary(data []byte) error {
 		escLen:  lens[n],
 		lenOf:   make([]uint8, 1<<16),
 		itemOf:  make([]int32, 1<<16),
+		gapK:    gapK,
 	}
 	for i := range t.itemOf {
 		t.itemOf[i] = -1
@@ -85,5 +104,6 @@ func (t *Table) UnmarshalBinary(data []byte) error {
 		t.itemOf[s] = int32(i)
 		t.lenOf[s] = lens[i]
 	}
+	t.buildLUT()
 	return nil
 }

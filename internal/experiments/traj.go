@@ -24,13 +24,18 @@ type CompressionResult struct {
 
 // Trajectory is the `slcbench -json` schema. Store, present only when a
 // result store is attached, carries the hit/miss counters that make "a warm
-// run recomputed nothing" observable; it is deliberately separate from the
-// result sections, which must be bitwise-identical between cold and warm
-// runs.
+// run recomputed nothing" observable; Decode, present only under `slcbench
+// -decodebench`, carries wall-clock decode timings. Both are deliberately
+// separate from the result sections, which must be bitwise-identical
+// between cold and warm runs (and across machines).
 type Trajectory struct {
+	// Schema is the result-store schema version the trajectory was produced
+	// under; downstream plots use it to detect encoding drift.
+	Schema      int
 	Target      string
 	Results     []RunResult         `json:",omitempty"`
 	Compression []CompressionResult `json:",omitempty"`
+	Decode      []DecodeBench       `json:",omitempty"`
 	Store       *resultstore.Stats  `json:",omitempty"`
 }
 
@@ -38,7 +43,7 @@ type Trajectory struct {
 // warmed cells are not re-executed) and assembles the trajectory, including
 // the runner's store counters when a store is attached.
 func CollectTrajectory(r *Runner, target string, full, comp []Cell) (*Trajectory, error) {
-	t := &Trajectory{Target: target}
+	t := &Trajectory{Schema: resultstore.SchemaVersion, Target: target}
 	for _, c := range full {
 		res, err := r.Run(c.Workload, c.Config)
 		if err != nil {

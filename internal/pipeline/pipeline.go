@@ -79,9 +79,12 @@ type Pipeline struct {
 	stats        Stats
 	scratch      []byte
 	// workers is the Sync fan-out: how many goroutines compress the blocks
-	// of one region. 1 means serial. addrbuf is the reused address batch.
+	// of one region. 1 means serial. addrbuf is the reused address batch and
+	// shards the reused per-worker state, so the Sync steady state performs
+	// no per-call allocation.
 	workers int
 	addrbuf []uint64
+	shards  []syncShard
 }
 
 // New builds a pipeline. lossless may be nil (uncompressed baseline); lossy
@@ -141,55 +144,76 @@ func (p *Pipeline) lossyFor(r device.Region) compress.Codec {
 }
 
 // Sync pushes every block of the region through the codec, updating burst
-// bookkeeping and applying lossy mutations to device memory.
+// bookkeeping and applying lossy mutations to device memory. The address
+// loops are written out inline (rather than through Region.BlockAddrs) so
+// the serial steady state allocates nothing per call.
 func (p *Pipeline) Sync(r device.Region) {
 	codec := p.lossless
+	exact := true
 	if r.SafeToApprox && p.lossy != nil {
 		codec = p.lossyFor(r)
+		exact = false
 	}
 	if codec == nil {
 		// Uncompressed baseline: full bursts, nothing stored.
-		r.BlockAddrs(func(addr uint64) {
+		for addr := r.Addr; addr < r.End(); addr += compress.BlockSize {
 			p.blocks[addr] = BlockInfo{Bursts: uint8(p.mag.MaxBursts())}
-		})
+		}
 		return
 	}
 	if p.workers <= 1 {
-		r.BlockAddrs(func(addr uint64) {
-			p.blocks[addr] = p.compressBlock(codec, r, addr, p.scratch, &p.stats)
-		})
+		for addr := r.Addr; addr < r.End(); addr += compress.BlockSize {
+			p.blocks[addr] = p.compressBlock(codec, exact, r, addr, p.scratch, &p.stats)
+		}
 		return
 	}
-	p.syncParallel(codec, r)
+	p.syncParallel(codec, exact, r)
 }
 
 // compressBlock pushes one block through the codec: it compresses, applies
 // the lossy write-back to device memory, and accumulates st. Serial and
 // parallel Sync share it so their per-block behaviour stays identical.
-func (p *Pipeline) compressBlock(codec compress.Codec, r device.Region, addr uint64, scratch []byte, st *Stats) BlockInfo {
+//
+// Two fast paths avoid materialising the bitstream, which the sync step
+// never needs: a compress.Syncer codec performs decision, size and in-place
+// write-back in one call, and a lossless (exact) codec with SizeOnly reports
+// its size directly — the fuzz harness pins CompressedBits == Compress().Bits
+// for every non-lossy codec, so the accounting is identical to the slow path.
+func (p *Pipeline) compressBlock(codec compress.Codec, exact bool, r device.Region, addr uint64, scratch []byte, st *Stats) BlockInfo {
 	block, err := p.dev.Block(addr)
 	if err != nil {
 		panic(fmt.Sprintf("pipeline: sync %s: %v", r.Name, err))
 	}
-	enc := codec.Compress(block)
-	if enc.Lossy {
-		if err := codec.Decompress(enc, scratch); err != nil {
-			panic(fmt.Sprintf("pipeline: lossy round trip %s@%#x: %v", r.Name, addr, err))
+	var bits int
+	var lossy bool
+	if sc, ok := codec.(compress.Syncer); ok {
+		bits, lossy = sc.SyncBlock(block)
+	} else if so, ok := codec.(compress.SizeOnly); ok && exact {
+		bits = so.CompressedBits(block)
+	} else {
+		enc := codec.Compress(block)
+		bits, lossy = enc.Bits, enc.Lossy
+		if enc.Lossy {
+			if err := codec.Decompress(enc, scratch); err != nil {
+				panic(fmt.Sprintf("pipeline: lossy round trip %s@%#x: %v", r.Name, addr, err))
+			}
+			copy(block, scratch)
 		}
-		copy(block, scratch)
+	}
+	if lossy {
 		st.LossyBlocks++
 	}
 	info := BlockInfo{
-		Bursts:     uint8(p.mag.Bursts(enc.Bits)),
-		Compressed: enc.Bits < compress.BlockBits,
+		Bursts:     uint8(p.mag.Bursts(bits)),
+		Compressed: bits < compress.BlockBits,
 	}
 	st.Blocks++
 	if !info.Compressed {
 		st.Uncompressed++
 	}
-	st.RawBits += int64(enc.Bits)
-	st.EffBits += int64(p.mag.EffectiveBits(enc.Bits))
-	st.AboveMAG[p.mag.BytesAboveMAG(enc.Bits)]++
+	st.RawBits += int64(bits)
+	st.EffBits += int64(p.mag.EffectiveBits(bits))
+	st.AboveMAG[p.mag.BytesAboveMAG(bits)]++
 	return info
 }
 
@@ -200,12 +224,32 @@ type syncEntry struct {
 }
 
 // syncShard is the private state of one Sync worker: its own Stats (with its
-// own AboveMAG histogram) and block records, merged deterministically once
-// all workers finish.
+// own AboveMAG histogram), block records and scratch buffer, merged
+// deterministically once all workers finish. Shards persist on the Pipeline
+// across Sync calls; reset clears the accumulators while keeping the backing
+// storage, so a warm parallel Sync reuses every worker buffer.
 type syncShard struct {
 	stats   Stats
 	entries []syncEntry
+	scratch []byte
 	panicV  interface{}
+}
+
+// reset prepares a shard for reuse under the given MAG histogram size.
+func (sh *syncShard) reset(magBuckets int) {
+	if cap(sh.stats.AboveMAG) < magBuckets {
+		sh.stats.AboveMAG = make([]int64, magBuckets)
+	}
+	above := sh.stats.AboveMAG[:magBuckets]
+	for i := range above {
+		above[i] = 0
+	}
+	sh.stats = Stats{AboveMAG: above}
+	sh.entries = sh.entries[:0]
+	if sh.scratch == nil {
+		sh.scratch = make([]byte, compress.BlockSize)
+	}
+	sh.panicV = nil
 }
 
 // syncParallel fans the region's blocks across the worker pool. Each worker
@@ -213,9 +257,11 @@ type syncShard struct {
 // merge after the barrier walks shards in index order, and since every
 // statistic is a sum (and block addresses are distinct), the result is
 // bitwise identical to serial execution.
-func (p *Pipeline) syncParallel(codec compress.Codec, r device.Region) {
+func (p *Pipeline) syncParallel(codec compress.Codec, exact bool, r device.Region) {
 	addrs := p.addrbuf[:0]
-	r.BlockAddrs(func(addr uint64) { addrs = append(addrs, addr) })
+	for addr := r.Addr; addr < r.End(); addr += compress.BlockSize {
+		addrs = append(addrs, addr)
+	}
 	p.addrbuf = addrs
 
 	workers := p.workers
@@ -225,8 +271,11 @@ func (p *Pipeline) syncParallel(codec compress.Codec, r device.Region) {
 	if workers == 0 {
 		return
 	}
+	if cap(p.shards) < workers {
+		p.shards = make([]syncShard, workers)
+	}
+	shards := p.shards[:workers]
 	chunk := (len(addrs) + workers - 1) / workers
-	shards := make([]syncShard, workers)
 	var wg sync.WaitGroup
 	for wi := 0; wi < workers; wi++ {
 		lo := wi * chunk
@@ -237,15 +286,13 @@ func (p *Pipeline) syncParallel(codec compress.Codec, r device.Region) {
 		if lo >= hi {
 			continue
 		}
+		shards[wi].reset(int(p.mag) + 1)
 		wg.Add(1)
 		go func(sh *syncShard, span []uint64) {
 			defer wg.Done()
 			defer func() { sh.panicV = recover() }()
-			sh.stats.AboveMAG = make([]int64, int(p.mag)+1)
-			sh.entries = make([]syncEntry, 0, len(span))
-			scratch := make([]byte, compress.BlockSize)
 			for _, addr := range span {
-				info := p.compressBlock(codec, r, addr, scratch, &sh.stats)
+				info := p.compressBlock(codec, exact, r, addr, sh.scratch, &sh.stats)
 				sh.entries = append(sh.entries, syncEntry{addr, info})
 			}
 		}(&shards[wi], addrs[lo:hi])
@@ -256,9 +303,13 @@ func (p *Pipeline) syncParallel(codec compress.Codec, r device.Region) {
 			panic(v)
 		}
 	}
-	for i := range shards {
-		p.stats.add(shards[i].stats)
-		for _, e := range shards[i].entries {
+	for wi := 0; wi < workers; wi++ {
+		lo := wi * chunk
+		if lo >= len(addrs) {
+			break
+		}
+		p.stats.add(shards[wi].stats)
+		for _, e := range shards[wi].entries {
 			p.blocks[e.addr] = e.info
 		}
 	}

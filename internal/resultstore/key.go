@@ -14,7 +14,8 @@ import (
 // whenever the record formats, the key material layout, or the semantics of
 // any cached computation change: old records then address different keys and
 // are recomputed (and eventually evicted by GC) instead of being trusted.
-const SchemaVersion = 1
+// Version 2: e2mc table records moved to wire format 2 (gap-array interval).
+const SchemaVersion = 2
 
 // Key is the content address of one record: SHA-256 over a canonical
 // encoding of the key material plus the store's schema version and code

@@ -155,7 +155,8 @@ func TestCorruptRecordsAreMissesNotTrusted(t *testing.T) {
 		"no header line":    func([]byte) []byte { return []byte("not a record at all") },
 		"empty file":        func([]byte) []byte { return nil },
 		"wrong schema": func(b []byte) []byte {
-			return bytes.Replace(b, []byte(`{"v":1`), []byte(`{"v":9`), 1)
+			cur := []byte(fmt.Sprintf(`{"v":%d`, SchemaVersion))
+			return bytes.Replace(b, cur, []byte(`{"v":9999`), 1)
 		},
 	}
 	for name, corrupt := range corruptions {

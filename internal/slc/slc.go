@@ -240,8 +240,10 @@ func (c *Codec) decide(syms *[compress.SymbolsPerBlock]uint16) Decision {
 		d.StoredBits = compBits
 		return d
 	}
-	// Lossy candidate: select the sub-block to approximate.
-	tree := NewTree(&costs, c.cfg.Variant == OPT)
+	// Lossy candidate: select the sub-block to approximate. The tree lives
+	// on the stack — decide runs once per synced block.
+	var tree Tree
+	tree.Reset(&costs, c.cfg.Variant == OPT)
 	need := d.ExtraBits
 	for iter := 0; iter < 8; iter++ {
 		node, ok := tree.Select(need, MaxApproxSymbols)
@@ -290,9 +292,31 @@ func (c *Codec) Compress(block []byte) compress.Encoded {
 	}
 }
 
+// SyncBlock implements compress.Syncer: the decision runs as in Compress and
+// a lossy approximation is written straight back into block, but no bitstream
+// is materialised. This is equivalent to Compress followed by Decompress
+// copied over block: non-truncated symbols round-trip exactly through the
+// entropy coder (emit panics if the emitted size ever disagrees with the
+// decision), so reconstructing the truncated span from the original symbols
+// yields the same bytes as reconstructing it from the decoded ones.
+func (c *Codec) SyncBlock(block []byte) (int, bool) {
+	if err := compress.CheckBlock(block); err != nil {
+		panic(err)
+	}
+	syms := compress.Symbols(block)
+	d := c.decide(&syms)
+	c.record(d)
+	if d.Mode != ModeLossy {
+		return d.StoredBits, false
+	}
+	fillApproximated(&syms, d.Node.Start, d.Node.Count, c.cfg.Variant)
+	compress.PutSymbols(block, syms)
+	return d.StoredBits, true
+}
+
 // emit encodes the block with the given skip span and builds the header.
 func (c *Codec) emit(syms *[compress.SymbolsPerBlock]uint16, skipStart, skipLen int, d Decision) compress.Encoded {
-	ways, _ := c.tab.EncodeWays(*syms, skipStart, skipLen)
+	ways, _, _ := c.tab.EncodeWays(*syms, skipStart, skipLen)
 	w := compress.NewBitWriter(d.StoredBits)
 	w.WriteBool(skipLen > 0) // m
 	if skipLen > 0 {

@@ -18,61 +18,84 @@ type Node struct {
 	Level int // tree level (0 = individual code lengths)
 }
 
-// Tree is the TSLC adder tree over one block's symbol costs.
-type Tree struct {
-	levels [][]int // levels[l][i] = sum of symbols [i·2^l, (i+1)·2^l)
-	extra  []Node  // TSLC-OPT intermediate nodes
-}
-
 // Number of tree levels for 64 symbols: level 0 (leaves) .. level 6 (root).
 const treeLevels = 7
 
-// NewTree builds the adder tree from per-symbol costs. With opt, the
+// treeSums is the total node count over all levels (64+32+...+1).
+const treeSums = 2*compress.SymbolsPerBlock - 1
+
+// maxExtraNodes bounds the TSLC-OPT intermediate nodes (8 + 4).
+const maxExtraNodes = 12
+
+// Tree is the TSLC adder tree over one block's symbol costs. All backing
+// storage is fixed-size, so a `var tree Tree` on the stack plus Reset builds
+// the tree with no heap allocation — the mode decision runs once per synced
+// block, on the pipeline's hot path.
+type Tree struct {
+	sums   [treeSums]int       // all levels, packed level 0 first
+	extra  [maxExtraNodes]Node // TSLC-OPT intermediate nodes
+	nextra int
+}
+
+// levelSpan returns the offset and length of one level inside sums.
+func levelSpan(l int) (off, n int) {
+	n = compress.SymbolsPerBlock >> uint(l)
+	return 2*compress.SymbolsPerBlock - 2*n, n
+}
+
+// NewTree builds the adder tree on the heap; Reset on a stack value is the
+// allocation-free equivalent the compression hot path uses.
+func NewTree(costs *[compress.SymbolsPerBlock]int, opt bool) *Tree {
+	t := new(Tree)
+	t.Reset(costs, opt)
+	return t
+}
+
+// Reset rebuilds the tree in place from per-symbol costs. With opt, the
 // TSLC-OPT extra nodes are added: the paper adds 8 nodes at the 16-node
 // level and 4 at the 8-node level to break the 2× jumps between sums
 // (§III-F); we realise them as intermediate spans of 6 and 12 symbols.
-func NewTree(costs *[compress.SymbolsPerBlock]int, opt bool) *Tree {
-	t := &Tree{levels: make([][]int, treeLevels)}
-	leaf := make([]int, compress.SymbolsPerBlock)
-	copy(leaf, costs[:])
-	t.levels[0] = leaf
+func (t *Tree) Reset(costs *[compress.SymbolsPerBlock]int, opt bool) {
+	copy(t.sums[:compress.SymbolsPerBlock], costs[:])
 	for l := 1; l < treeLevels; l++ {
-		prev := t.levels[l-1]
-		cur := make([]int, len(prev)/2)
-		for i := range cur {
-			cur[i] = prev[2*i] + prev[2*i+1]
+		po, pn := levelSpan(l - 1)
+		co, _ := levelSpan(l)
+		for i := 0; i < pn/2; i++ {
+			t.sums[co+i] = t.sums[po+2*i] + t.sums[po+2*i+1]
 		}
-		t.levels[l] = cur
 	}
+	t.nextra = 0
 	if opt {
+		o2, _ := levelSpan(2) // 4-symbol sums
+		o1, _ := levelSpan(1) // 2-symbol sums
+		o3, _ := levelSpan(3) // 8-symbol sums
 		// 8 extra 6-symbol nodes between the 4- and 8-symbol levels
 		// (one per pair of adjacent 4-symbol nodes)...
 		for i := 0; i < 8; i++ {
-			start := i * 8
-			t.extra = append(t.extra, Node{
-				Start: start,
+			t.extra[t.nextra] = Node{
+				Start: i * 8,
 				Count: 6,
-				Sum:   t.levels[2][2*i] + t.levels[1][4*i+2],
+				Sum:   t.sums[o2+2*i] + t.sums[o1+4*i+2],
 				Level: 2,
-			})
+			}
+			t.nextra++
 		}
 		// ...and 4 extra 12-symbol nodes between the 8- and 16-symbol levels.
 		for i := 0; i < 4; i++ {
-			start := i * 16
-			t.extra = append(t.extra, Node{
-				Start: start,
+			t.extra[t.nextra] = Node{
+				Start: i * 16,
 				Count: 12,
-				Sum:   t.levels[3][2*i] + t.levels[2][4*i+2],
+				Sum:   t.sums[o3+2*i] + t.sums[o2+4*i+2],
 				Level: 3,
-			})
+			}
+			t.nextra++
 		}
 	}
-	return t
 }
 
 // PayloadBits returns the root sum: the total payload size the hardware uses
 // as comp size (before header and way padding).
-func (t *Tree) PayloadBits() int { return t.levels[treeLevels-1][0] }
+func (t *Tree) PayloadBits() int { return t.sums[treeSums-1] }
 
 // Select returns the sub-block to approximate: among all nodes with
 // Sum ≥ need and Count ≤ maxSyms, the one covering the fewest symbols
@@ -96,22 +119,26 @@ func (t *Tree) Select(need, maxSyms int) (Node, bool) {
 		if count > maxSyms {
 			break
 		}
-		for i, sum := range t.levels[l] {
-			if sum >= need {
+		off, n := levelSpan(l)
+		for i := 0; i < n; i++ {
+			if sum := t.sums[off+i]; sum >= need {
 				// Priority encoder: only the first hit per level matters.
 				consider(Node{Start: i * count, Count: count, Sum: sum, Level: l})
 				break
 			}
 		}
 	}
-	for _, n := range t.extra {
-		consider(n)
+	for i := 0; i < t.nextra; i++ {
+		consider(t.extra[i])
 	}
 	return best, found
 }
 
 // NodeSums exposes the sums of one level for tests and the hardware model.
-func (t *Tree) NodeSums(level int) []int { return t.levels[level] }
+func (t *Tree) NodeSums(level int) []int {
+	off, n := levelSpan(level)
+	return t.sums[off : off+n]
+}
 
 // ExtraNodes exposes the TSLC-OPT nodes for tests and the hardware model.
-func (t *Tree) ExtraNodes() []Node { return t.extra }
+func (t *Tree) ExtraNodes() []Node { return t.extra[:t.nextra] }
