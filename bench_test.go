@@ -15,6 +15,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/experiments"
 	"repro/internal/gpu/sim"
+	"repro/internal/gpu/trace"
 	"repro/internal/hw"
 	"repro/internal/slc"
 	"repro/internal/workloads"
@@ -237,6 +238,66 @@ func BenchmarkAblationPrediction(b *testing.B) {
 		}
 	}
 }
+
+// simBenchTrace is a synthetic streaming trace stressing the event engine:
+// 1024 warps × 200 accesses with a write mixed in, matching the shape the
+// sim package's own benchmarks use.
+func simBenchTrace() *trace.Trace {
+	k := trace.Kernel{Name: "bench", Warps: make([][]trace.Access, 1024)}
+	for w := range k.Warps {
+		accs := make([]trace.Access, 200)
+		for i := range accs {
+			addr := uint64(w)<<20 | uint64(i)<<7
+			accs[i] = trace.Access{Addr: addr, Bursts: 4, Compute: 4, Compressed: true}
+			if i%16 == 15 {
+				accs[i].Write = true
+			}
+		}
+		k.Warps[w] = accs
+	}
+	return &trace.Trace{Kernels: []trace.Kernel{k}}
+}
+
+// benchSimReplay replays the synthetic trace through one reusable Simulator
+// at the given worker count, reporting events/s and ns/event — the same
+// metrics `slcbench -simbench` tracks per workload.
+func benchSimReplay(b *testing.B, workers int) {
+	cfg := sim.DefaultConfig()
+	cfg.Workers = workers
+	s, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := simBenchTrace()
+	want, err := s.Replay(tr) // warm-up; pins the expected Result
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := s.Replay(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got != want {
+			b.Fatalf("replay diverged:\nfirst:  %+v\nreplay: %+v", want, got)
+		}
+	}
+	b.StopTimer()
+	events := float64(s.Events())
+	nsPerEvent := float64(b.Elapsed().Nanoseconds()) / (float64(b.N) * events)
+	b.ReportMetric(nsPerEvent, "ns/event")
+	b.ReportMetric(1e9/nsPerEvent, "events/s")
+}
+
+// BenchmarkSimSerial is the trace replay on the serial engine.
+func BenchmarkSimSerial(b *testing.B) { benchSimReplay(b, 1) }
+
+// BenchmarkSimSharded4 shards the replay across 4 event-lane workers.
+func BenchmarkSimSharded4(b *testing.B) { benchSimReplay(b, 4) }
+
+// BenchmarkSimShardedAll shards the replay across all cores.
+func BenchmarkSimShardedAll(b *testing.B) { benchSimReplay(b, runtime.GOMAXPROCS(0)) }
 
 // decodeCorpora builds (once) the per-workload entropy-decode corpora the
 // decode benchmarks share: blocks sampled from each registered workload's

@@ -37,6 +37,13 @@
 // without another target) the timings land in the trajectory's Decode
 // section, which CI uploads per push.
 //
+// -simbench times the discrete-event engine itself: every workload's trace
+// is replayed repeatedly through one simulator (at the -simworkers setting)
+// and the resulting events/s and ns/event land in a text table or, with
+// -json, the trajectory's Sim section (uploaded as bench-sim.json by CI,
+// which also fails its regression smoke step when ns/event degrades >25%
+// against the committed baseline fixture).
+//
 // -cpuprofile FILE / -memprofile FILE record pprof profiles of whatever the
 // invocation runs — see the README's "Profiling" section for the workflow.
 package main
@@ -70,6 +77,7 @@ func main() {
 		simw      = flag.Int("simworkers", 1, "worker goroutines per sharded timing simulation (0 = all cores, 1 = serial engine)")
 		asJSON    = flag.Bool("json", false, "emit the executed cells as JSON instead of the text report (-all, -fig, -ablations, -matrix)")
 		decodeb   = flag.Bool("decodebench", false, "time the entropy decoders over per-workload corpora (text table, or the trajectory's Decode section with -json)")
+		simb      = flag.Bool("simbench", false, "time the event engine replaying every workload's trace (text table, or the trajectory's Sim section with -json)")
 		verbose   = flag.Bool("v", false, "log per-run progress to stderr")
 		store     = storeflag.Register()
 		prof      = profileflag.Register()
@@ -175,11 +183,25 @@ func main() {
 		}
 	}
 
+	// Simulator throughput runs each workload's trace through one reusable
+	// Simulator at the -simworkers setting; the numbers CI's regression
+	// smoke step compares against the committed baseline fixture.
+	var sbench []experiments.SimBench
+	if *simb {
+		sbench, err = experiments.CollectSimBenches(r, r.SimWorkers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if target == "" {
+			target = "sim"
+		}
+	}
+
 	if *asJSON {
 		if target == "" {
-			log.Fatal("-json needs -all, -fig, -ablations, -matrix or -decodebench")
+			log.Fatal("-json needs -all, -fig, -ablations, -matrix, -decodebench or -simbench")
 		}
-		if err := emitJSON(w, r, target, full, comp, dbench); err != nil {
+		if err := emitJSON(w, r, target, full, comp, dbench, sbench); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -188,6 +210,13 @@ func main() {
 	if *decodeb {
 		printDecodeBenches(w, dbench)
 		if target == "decode" && *table == 0 {
+			return
+		}
+	}
+
+	if *simb {
+		printSimBenches(w, sbench)
+		if target == "sim" && *table == 0 {
 			return
 		}
 	}
@@ -231,13 +260,26 @@ func main() {
 // emitJSON re-reads the memoised cells (warmed above) and writes the bench
 // trajectory, including the store's hit counters when one is attached and
 // the decode benchmarks when -decodebench was given.
-func emitJSON(w io.Writer, r *experiments.Runner, target string, full, comp []experiments.Cell, dbench []experiments.DecodeBench) error {
+func emitJSON(w io.Writer, r *experiments.Runner, target string, full, comp []experiments.Cell, dbench []experiments.DecodeBench, sbench []experiments.SimBench) error {
 	traj, err := experiments.CollectTrajectory(r, target, full, comp)
 	if err != nil {
 		return err
 	}
 	traj.Decode = dbench
+	traj.Sim = sbench
 	return traj.WriteJSON(w)
+}
+
+// printSimBenches renders the -simbench throughput as a text table.
+func printSimBenches(w io.Writer, sbench []experiments.SimBench) {
+	fmt.Fprintf(w, "simulator throughput (trace replay under E2MC@MAG32)\n")
+	fmt.Fprintf(w, "  %-8s %8s %9s %8s %10s %12s %9s\n",
+		"workload", "events", "accesses", "replays", "ns/event", "events/s", "wall ms")
+	for _, b := range sbench {
+		fmt.Fprintf(w, "  %-8s %8d %9d %8d %10.1f %12.0f %9.2f\n",
+			b.Workload, b.Events, b.Accesses, b.Replays, b.NsPerEvent,
+			b.EventsPerSec, b.WallMs)
+	}
 }
 
 // printDecodeBenches renders the -decodebench timings as a text table.

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+const simBaselinePath = "testdata/bench_sim_baseline.json"
+
+// TestSimBenchMeasure exercises the measurement harness on one workload: the
+// replay loop must converge, the deterministic counts must be populated, and
+// the derived rates must be consistent. (Timing magnitudes are machine-
+// dependent and not asserted.)
+func TestSimBenchMeasure(t *testing.T) {
+	r := NewRunner()
+	w := workloads.Registry()[0]
+	b, err := MeasureSimBench(r, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Workload != w.Info().Name {
+		t.Errorf("workload = %q, want %q", b.Workload, w.Info().Name)
+	}
+	if b.Events <= 0 || b.Accesses <= 0 || b.Warps <= 0 || b.Replays <= 0 {
+		t.Errorf("counts not populated: %+v", b)
+	}
+	// Each access costs several events (issue, memory path, response).
+	if b.Events < int64(b.Accesses) {
+		t.Errorf("Events %d < Accesses %d: event counter undercounts", b.Events, b.Accesses)
+	}
+	if b.NsPerEvent <= 0 || b.EventsPerSec <= 0 || b.WallMs <= 0 {
+		t.Errorf("rates not populated: %+v", b)
+	}
+}
+
+// TestCompareSimBench pins the regression comparator: a >25% ns/event
+// slowdown fails, noise inside the limit passes, a changed deterministic
+// event count fails (the baseline must be regenerated), and workloads
+// missing from either side are ignored.
+func TestCompareSimBench(t *testing.T) {
+	base := []SimBench{
+		{Workload: "BP", Events: 1000, NsPerEvent: 100},
+		{Workload: "BS", Events: 2000, NsPerEvent: 50},
+		{Workload: "OLD", Events: 10, NsPerEvent: 10},
+	}
+	cur := []SimBench{
+		{Workload: "BP", Events: 1000, NsPerEvent: 120},  // +20%: inside the limit
+		{Workload: "BS", Events: 2000, NsPerEvent: 40},   // faster: fine
+		{Workload: "NEW", Events: 5, NsPerEvent: 999999}, // not in baseline: ignored
+	}
+	if msgs := CompareSimBench(base, cur); len(msgs) != 0 {
+		t.Errorf("expected clean comparison, got %v", msgs)
+	}
+	cur[0].NsPerEvent = 130 // +30%: over the 1.25x limit
+	msgs := CompareSimBench(base, cur)
+	if len(msgs) != 1 {
+		t.Fatalf("expected 1 regression, got %v", msgs)
+	}
+	cur[1].Events = 2001 // event stream drifted without -update
+	if msgs := CompareSimBench(base, cur); len(msgs) != 2 {
+		t.Fatalf("expected 2 regressions, got %v", msgs)
+	}
+}
+
+// TestSimBenchRegression is CI's benchmark-regression smoke step: measure
+// every workload and compare ns/event against the committed baseline
+// fixture. It is opt-in via SLC_SIMBENCH_REGRESSION=1 because wall-clock
+// thresholds do not belong in the default (possibly loaded, possibly
+// race-instrumented) test run. Regenerate the baseline on the reference
+// machine with:
+//
+//	SLC_SIMBENCH_REGRESSION=1 go test ./internal/experiments -run SimBenchRegression -update
+func TestSimBenchRegression(t *testing.T) {
+	if os.Getenv("SLC_SIMBENCH_REGRESSION") == "" && !*update {
+		t.Skip("set SLC_SIMBENCH_REGRESSION=1 to run the throughput regression check")
+	}
+	r := NewRunner()
+	cur, err := CollectSimBenches(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		data, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(simBaselinePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(simBaselinePath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", simBaselinePath)
+		return
+	}
+	data, err := os.ReadFile(simBaselinePath)
+	if err != nil {
+		t.Fatalf("no baseline fixture (regenerate with -update): %v", err)
+	}
+	var base []SimBench
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatal(err)
+	}
+	for _, msg := range CompareSimBench(base, cur) {
+		t.Errorf("regression: %s", msg)
+	}
+	for _, b := range cur {
+		t.Logf("%-4s %8d events  %6.1f ns/event  %12.0f events/s",
+			b.Workload, b.Events, b.NsPerEvent, b.EventsPerSec)
+	}
+}

@@ -58,13 +58,17 @@ func (h *eventHeap) Pop() interface{} {
 
 // Queue is a discrete-event queue. The zero value is ready to use.
 type Queue struct {
-	h   eventHeap
-	now float64
-	seq int64
+	h        eventHeap
+	now      float64
+	seq      int64
+	executed int64
 }
 
 // Now returns the current simulation time in nanoseconds.
 func (q *Queue) Now() float64 { return q.now }
+
+// Executed returns the number of events the queue has dispatched.
+func (q *Queue) Executed() int64 { return q.executed }
 
 // At schedules fn at time t; times before Now are clamped to Now.
 func (q *Queue) At(t float64, fn func()) {
@@ -80,6 +84,7 @@ func (q *Queue) Run() {
 	for q.h.Len() > 0 {
 		e := heap.Pop(&q.h).(*event)
 		q.now = e.t
+		q.executed++
 		e.fn()
 	}
 }
@@ -133,12 +138,13 @@ type outMsg struct {
 // single goroutine at a time, so lane-local state needs no locking. Lanes
 // interact only through Send.
 type Lane struct {
-	id     int32
-	eng    *Engine
-	h      laneHeap
-	now    float64
-	genSeq int64
-	outbox []outMsg
+	id       int32
+	eng      *Engine
+	h        laneHeap
+	now      float64
+	genSeq   int64
+	executed int64
+	outbox   []outMsg
 }
 
 // ID returns the lane's index within its engine.
@@ -196,6 +202,7 @@ func (l *Lane) runWindow(horizon float64) {
 	for len(l.h) > 0 && l.h[0].t < horizon {
 		ev := heap.Pop(&l.h).(laneEvent)
 		l.now = ev.t
+		l.executed++
 		ev.fn()
 	}
 }
@@ -253,6 +260,18 @@ func (e *Engine) Pending() int {
 	return n
 }
 
+// Executed returns the total number of events dispatched across lanes since
+// the engine was built. It is deterministic — the serial and parallel modes
+// execute the identical event sequence — but must only be read between Run
+// calls.
+func (e *Engine) Executed() int64 {
+	var n int64
+	for _, l := range e.lanes {
+		n += l.executed
+	}
+	return n
+}
+
 // Run drains every lane. workers ≤ 1 (or a non-positive lookahead) selects
 // the serial engine; larger values fan the window's active lanes across that
 // many goroutines. The executed event sequence — and therefore every
@@ -282,6 +301,7 @@ func (e *Engine) runSerial() {
 		}
 		ev := heap.Pop(&best.h).(laneEvent)
 		best.now = ev.t
+		best.executed++
 		ev.fn()
 	}
 }

@@ -149,17 +149,46 @@ type simulator struct {
 	res       Result
 }
 
-// Run replays a trace and returns timing and event counts.
-func Run(tr *trace.Trace, cfg Config) (Result, error) {
+// Simulator replays traces under one fixed configuration. It is the
+// long-lived face of the simulation core: throughput tooling (`slcbench
+// -simbench`, the Sim trajectory section) replays the same trace repeatedly
+// through one Simulator and reads the executed-event count per replay.
+type Simulator struct {
+	cfg    Config
+	events int64
+}
+
+// New validates the configuration and returns a Simulator for it.
+func New(cfg Config) (*Simulator, error) {
 	if cfg.SMs <= 0 || cfg.SMClockMHz <= 0 || cfg.MaxWarpsPerSM <= 0 || cfg.WarpMLP <= 0 {
-		return Result{}, fmt.Errorf("sim: bad SM configuration %+v", cfg)
+		return nil, fmt.Errorf("sim: bad SM configuration %+v", cfg)
 	}
 	if !cfg.MAG.Valid() {
-		return Result{}, fmt.Errorf("sim: invalid MAG %d", cfg.MAG)
+		return nil, fmt.Errorf("sim: invalid MAG %d", cfg.MAG)
 	}
 	if cfg.MemPathCycles < 0 {
-		return Result{}, fmt.Errorf("sim: negative MemPathCycles %d", cfg.MemPathCycles)
+		return nil, fmt.Errorf("sim: negative MemPathCycles %d", cfg.MemPathCycles)
 	}
+	return &Simulator{cfg: cfg}, nil
+}
+
+// Events returns the number of discrete events the engine executed during
+// the last Replay — the denominator of the ns/event throughput metric.
+func (s *Simulator) Events() int64 { return s.events }
+
+// Run replays a trace and returns timing and event counts.
+func Run(tr *trace.Trace, cfg Config) (Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Replay(tr)
+}
+
+// Replay replays one trace from a cold start and returns timing and event
+// counts. Replaying the same trace twice yields bitwise-identical Results.
+func (s *Simulator) Replay(tr *trace.Trace) (Result, error) {
+	cfg := s.cfg
 	l2, err := cache.New(cfg.L2)
 	if err != nil {
 		return Result{}, err
@@ -179,7 +208,7 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	s := &simulator{
+	st := &simulator{
 		cfg:       cfg,
 		smCycleNs: smCycleNs,
 		eng:       eng,
@@ -190,34 +219,35 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 		lastWrite: make(map[uint64]blockXfer),
 	}
 	if cfg.L1.SizeBytes > 0 {
-		s.l1s = make([]*cache.Cache, cfg.SMs)
-		for i := range s.l1s {
-			if s.l1s[i], err = cache.New(cfg.L1); err != nil {
+		st.l1s = make([]*cache.Cache, cfg.SMs)
+		for i := range st.l1s {
+			if st.l1s[i], err = cache.New(cfg.L1); err != nil {
 				return Result{}, err
 			}
 		}
 	}
 	for _, k := range tr.Kernels {
-		s.runKernel(&k)
+		st.runKernel(&k)
 	}
-	s.res.TimeNs = s.endNs
-	s.res.SMCycles = s.endNs / s.smCycleNs
-	for _, l1 := range s.l1s {
-		st := l1.Stats()
-		s.res.L1.Hits += st.Hits
-		s.res.L1.Misses += st.Misses
+	st.res.TimeNs = st.endNs
+	st.res.SMCycles = st.endNs / st.smCycleNs
+	for _, l1 := range st.l1s {
+		cs := l1.Stats()
+		st.res.L1.Hits += cs.Hits
+		st.res.L1.Misses += cs.Misses
 	}
-	s.res.L2 = s.l2.Stats()
-	s.res.MC = s.mem.Stats()
-	ds := s.mem.DramStats()
-	s.res.DramBursts = ds.Bursts
-	s.res.DramMetaBursts = ds.MetaBursts
-	s.res.DramBytes = (ds.Bursts - ds.MetaBursts) * int(cfg.MAG)
-	s.res.RowHits = ds.RowHits
-	s.res.RowMisses = ds.RowMisses
-	s.res.Activations = ds.Activations
-	s.res.BusBusyNs = ds.BusBusyNs
-	return s.res, nil
+	st.res.L2 = st.l2.Stats()
+	st.res.MC = st.mem.Stats()
+	ds := st.mem.DramStats()
+	st.res.DramBursts = ds.Bursts
+	st.res.DramMetaBursts = ds.MetaBursts
+	st.res.DramBytes = (ds.Bursts - ds.MetaBursts) * int(cfg.MAG)
+	st.res.RowHits = ds.RowHits
+	st.res.RowMisses = ds.RowMisses
+	st.res.Activations = ds.Activations
+	st.res.BusBusyNs = ds.BusBusyNs
+	s.events = eng.Executed()
+	return st.res, nil
 }
 
 func (s *simulator) runKernel(k *trace.Kernel) {
