@@ -130,6 +130,19 @@ func (c *Cache) Invalidate(addr uint64) {
 	}
 }
 
+// Reset invalidates every line and zeroes the counters and LRU clock in
+// place — a cold cache without reallocating the sets (the simulator resets
+// caches at replay and kernel boundaries on its alloc-free path).
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line{}
+		}
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}
+
 // Stats returns the event counters.
 func (c *Cache) Stats() Stats { return c.stats }
 

@@ -5,6 +5,12 @@
 // warps saturate the data bus. Compression pays off here: a block fetched in
 // fewer bursts occupies the bus for fewer cycles, which is what raises
 // effective bandwidth on memory-bound workloads.
+//
+// Requests are pooled value records in a channel-local arena, threaded onto
+// per-row and per-bank intrusive lists (int32 indices, not pointers) plus an
+// arrival FIFO. The arena and lists are owned by the channel's event lane,
+// so they need no locking, and once the arena has grown to the backlog's
+// peak the channel enqueues and serves requests without allocating.
 package dram
 
 import (
@@ -86,37 +92,65 @@ type bank struct {
 	dataEndNs float64 // last data beat of the bank's in-flight transfer
 }
 
+// nilIdx terminates intrusive lists.
+const nilIdx = int32(-1)
+
+// request is one pooled queue entry. Completion is either a closure (done,
+// the reference path) or a typed event (doneEv, dispatched through the
+// channel's Completer at the bus-end time); doneEv.Kind == KindNone means no
+// typed completion. The next/prev fields thread the request onto its row
+// list and bank list (doubly linked, unlinked eagerly when served) and the
+// arrival FIFO (singly linked, drained lazily from the head).
 type request struct {
-	addr    uint64
-	bursts  int
-	arrival float64
-	seq     int64
-	done    func(completionNs float64)
-	served  bool
-	meta    bool
-	bank    int
-	row     uint64
+	addr               uint64
+	row                uint64
+	arrival            float64
+	seq                int64
+	done               func(completionNs float64)
+	doneEv             events.Event
+	nextRow, prevRow   int32
+	nextBank, prevBank int32
+	nextFifo           int32
+	bank               int32
+	bursts             int32
+	served             bool
+	meta               bool
+}
+
+// list is an intrusive list head (indices into the channel's arena).
+type list struct {
+	head, tail int32
 }
 
 // Channel is one GDDR5 channel draining an FR-FCFS queue on its event
 // scheduler — the shared queue in standalone use, or the channel's own lane
 // in the sharded simulator. All channel state is local to that scheduler.
 type Channel struct {
-	cfg      Config
-	cycleNs  float64
-	q        events.Scheduler
+	cfg     Config
+	cycleNs float64
+	q       events.Scheduler
+	drainFn func() // pre-bound ch.drain for the closure path
+	// Typed mode (EnableEvents): drain self-schedules drainEv through qe;
+	// request completions are the enqueuer's own typed events, dispatched to
+	// whatever handler their Kind has on the channel's scheduler.
+	qe      events.EventScheduler
+	drainEv events.Event
+
 	banks    []bank
 	busFree  float64
-	byRow    map[uint64][]*request
-	byBank   [][]*request
-	fifo     []*request
-	fifoHead int
+	reqs     []request // arena; intrusive lists index into it
+	free     []int32   // vacated arena slots
+	byRow    map[uint64]list
+	byBank   []list // fixed at Config.Banks entries, reused across kernels
+	fifoHead int32
+	fifoTail int32
 	seq      int64
 	draining bool
 	stats    Stats
 }
 
-// NewChannel builds a channel on the given event scheduler.
+// NewChannel builds a channel on the given event scheduler. The per-bank
+// queue heads are sized from cfg once and reused for the channel's lifetime.
 func NewChannel(cfg Config, q events.Scheduler) (*Channel, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -124,122 +158,230 @@ func NewChannel(cfg Config, q events.Scheduler) (*Channel, error) {
 	if q == nil {
 		return nil, fmt.Errorf("dram: nil event queue")
 	}
-	return &Channel{
+	ch := &Channel{
 		cfg:     cfg,
 		cycleNs: cfg.CycleNs(),
 		q:       q,
 		banks:   make([]bank, cfg.Banks),
-		byRow:   make(map[uint64][]*request),
-		byBank:  make([][]*request, cfg.Banks),
-	}, nil
+		byRow:   make(map[uint64]list),
+		byBank:  make([]list, cfg.Banks),
+	}
+	ch.drainFn = ch.drain
+	ch.clearLists()
+	return ch, nil
+}
+
+// EnableEvents switches the channel to typed-event mode: drain scheduling
+// uses drainEv on qe, whose handler for drainEv.Kind must route the event
+// back to DrainStep.
+func (ch *Channel) EnableEvents(qe events.EventScheduler, drainEv events.Event) {
+	ch.qe = qe
+	ch.drainEv = drainEv
+}
+
+// Reset empties the channel for a fresh replay: queues, banks, bus and
+// statistics return to their initial state while the arena, freelist, bank
+// list heads and row map keep their capacity, so replaying an identical
+// request stream allocates nothing.
+func (ch *Channel) Reset() {
+	for i := range ch.banks {
+		ch.banks[i] = bank{}
+	}
+	ch.busFree = 0
+	ch.reqs = ch.reqs[:0]
+	ch.free = ch.free[:0]
+	clear(ch.byRow)
+	ch.clearLists()
+	ch.seq = 0
+	ch.draining = false
+	ch.stats = Stats{}
+}
+
+func (ch *Channel) clearLists() {
+	for i := range ch.byBank {
+		ch.byBank[i] = list{head: nilIdx, tail: nilIdx}
+	}
+	ch.fifoHead, ch.fifoTail = nilIdx, nilIdx
+}
+
+func (ch *Channel) now() float64 { return ch.q.Now() }
+
+// alloc takes an arena slot from the freelist, growing the arena only when
+// the live backlog exceeds every previous peak.
+func (ch *Channel) alloc() int32 {
+	if n := len(ch.free); n > 0 {
+		idx := ch.free[n-1]
+		ch.free = ch.free[:n-1]
+		return idx
+	}
+	ch.reqs = append(ch.reqs, request{})
+	return int32(len(ch.reqs) - 1)
+}
+
+// release returns a slot whose request has left every list. Zeroing drops
+// the closure reference so the arena never retains a completed callback.
+func (ch *Channel) release(idx int32) {
+	ch.reqs[idx] = request{}
+	ch.free = append(ch.free, idx)
 }
 
 // Enqueue submits a request at the current simulation time; done (may be
 // nil for posted writes) is invoked at its completion time.
 func (ch *Channel) Enqueue(addr uint64, bursts int, done func(completionNs float64)) {
-	ch.enqueue(addr, bursts, false, done)
+	ch.enqueue(addr, bursts, false, done, events.Event{})
 }
 
 // EnqueueMeta submits a compression-metadata fetch. It is scheduled exactly
 // like a data request but accounted under Stats.MetaBursts, so data and
 // metadata traffic can be reported separately.
 func (ch *Channel) EnqueueMeta(addr uint64, bursts int, done func(completionNs float64)) {
-	ch.enqueue(addr, bursts, true, done)
+	ch.enqueue(addr, bursts, true, done, events.Event{})
 }
 
-func (ch *Channel) enqueue(addr uint64, bursts int, meta bool, done func(completionNs float64)) {
+// EnqueueEvent submits a request whose completion is the typed event doneEv,
+// dispatched through the channel's Completer at the bus-end time (Kind
+// KindNone = posted, no completion). meta selects metadata accounting.
+func (ch *Channel) EnqueueEvent(addr uint64, bursts int, meta bool, doneEv events.Event) {
+	ch.enqueue(addr, bursts, meta, nil, doneEv)
+}
+
+func (ch *Channel) enqueue(addr uint64, bursts int, meta bool, done func(float64), doneEv events.Event) {
 	if bursts < 1 {
 		bursts = 1
 	}
 	ch.seq++
-	r := &request{
-		addr:    addr,
-		bursts:  bursts,
-		arrival: ch.q.Now(),
-		seq:     ch.seq,
-		done:    done,
-		meta:    meta,
-		bank:    int((addr / uint64(ch.cfg.RowBytes)) % uint64(ch.cfg.Banks)),
+	idx := ch.alloc()
+	r := &ch.reqs[idx]
+	*r = request{
+		addr:     addr,
+		arrival:  ch.now(),
+		seq:      ch.seq,
+		done:     done,
+		doneEv:   doneEv,
+		nextRow:  nilIdx,
+		prevRow:  nilIdx,
+		nextBank: nilIdx,
+		prevBank: nilIdx,
+		nextFifo: nilIdx,
+		bank:     int32((addr / uint64(ch.cfg.RowBytes)) % uint64(ch.cfg.Banks)),
+		bursts:   int32(bursts),
+		meta:     meta,
 	}
 	r.row = addr / uint64(ch.cfg.RowBytes) / uint64(ch.cfg.Banks)
+
 	key := ch.rowKey(r.bank, r.row)
-	ch.byRow[key] = append(ch.byRow[key], r)
-	ch.byBank[r.bank] = append(ch.byBank[r.bank], r)
-	ch.fifo = append(ch.fifo, r)
+	if l, ok := ch.byRow[key]; ok {
+		ch.reqs[l.tail].nextRow = idx
+		r.prevRow = l.tail
+		l.tail = idx
+		ch.byRow[key] = l
+	} else {
+		ch.byRow[key] = list{head: idx, tail: idx}
+	}
+	bl := &ch.byBank[r.bank]
+	if bl.head == nilIdx {
+		bl.head, bl.tail = idx, idx
+	} else {
+		ch.reqs[bl.tail].nextBank = idx
+		r.prevBank = bl.tail
+		bl.tail = idx
+	}
+	if ch.fifoHead == nilIdx {
+		ch.fifoHead, ch.fifoTail = idx, idx
+	} else {
+		ch.reqs[ch.fifoTail].nextFifo = idx
+		ch.fifoTail = idx
+	}
+
 	if !ch.draining {
 		ch.draining = true
-		ch.q.At(ch.q.Now(), ch.drain)
+		if ch.qe != nil {
+			ch.qe.AtEvent(ch.now(), ch.drainEv)
+		} else {
+			ch.q.At(ch.now(), ch.drainFn)
+		}
 	}
 }
 
-func (ch *Channel) rowKey(bank int, row uint64) uint64 {
+func (ch *Channel) rowKey(bank int32, row uint64) uint64 {
 	return row*uint64(ch.cfg.Banks) + uint64(bank)
 }
 
-// trimServed pops served requests off the head of a queue list, nil-ing the
-// vacated slots so the backing array stops retaining them. Advancing with a
-// bare lst[1:] would keep every served *request reachable from the array
-// head for as long as the list lives — unbounded memory on long traces.
-func trimServed(lst []*request) []*request {
-	for len(lst) > 0 && lst[0].served {
-		lst[0] = nil
-		lst = lst[1:]
+// unlink removes a served request from its row and bank lists. Every pick
+// returns the head unserved entry of both lists, but a row hit can serve a
+// request from the middle of its bank list (an older request for another
+// row is still ahead of it), which is why the lists are doubly linked.
+func (ch *Channel) unlink(idx int32) {
+	r := &ch.reqs[idx]
+	key := ch.rowKey(r.bank, r.row)
+	l := ch.byRow[key]
+	if r.prevRow != nilIdx {
+		ch.reqs[r.prevRow].nextRow = r.nextRow
+	} else {
+		l.head = r.nextRow
 	}
-	return lst
+	if r.nextRow != nilIdx {
+		ch.reqs[r.nextRow].prevRow = r.prevRow
+	} else {
+		l.tail = r.prevRow
+	}
+	if l.head == nilIdx {
+		delete(ch.byRow, key)
+	} else {
+		ch.byRow[key] = l
+	}
+	bl := &ch.byBank[r.bank]
+	if r.prevBank != nilIdx {
+		ch.reqs[r.prevBank].nextBank = r.nextBank
+	} else {
+		bl.head = r.nextBank
+	}
+	if r.nextBank != nilIdx {
+		ch.reqs[r.nextBank].prevBank = r.prevBank
+	} else {
+		bl.tail = r.prevBank
+	}
+	r.nextRow, r.prevRow, r.nextBank, r.prevBank = nilIdx, nilIdx, nilIdx, nilIdx
 }
 
-// oldest returns the oldest pending request, compacting lazily.
-func (ch *Channel) oldest() *request {
-	for ch.fifoHead < len(ch.fifo) && ch.fifo[ch.fifoHead].served {
-		ch.fifo[ch.fifoHead] = nil
-		ch.fifoHead++
+// oldest returns the oldest pending request index, freeing served requests
+// off the FIFO head as it passes them — the point where a request has left
+// its last list and its arena slot is recycled.
+func (ch *Channel) oldest() int32 {
+	for ch.fifoHead != nilIdx && ch.reqs[ch.fifoHead].served {
+		idx := ch.fifoHead
+		ch.fifoHead = ch.reqs[idx].nextFifo
+		ch.release(idx)
 	}
-	if ch.fifoHead >= len(ch.fifo) {
-		ch.fifo = ch.fifo[:0]
-		ch.fifoHead = 0
-		return nil
+	if ch.fifoHead == nilIdx {
+		ch.fifoTail = nilIdx
 	}
-	if ch.fifoHead > 8192 {
-		n := copy(ch.fifo, ch.fifo[ch.fifoHead:])
-		for i := n; i < len(ch.fifo); i++ {
-			ch.fifo[i] = nil
-		}
-		ch.fifo = ch.fifo[:n]
-		ch.fifoHead = 0
-	}
-	return ch.fifo[ch.fifoHead]
+	return ch.fifoHead
 }
 
-// peekRow returns the oldest pending request for a bank's open row.
-func (ch *Channel) peekRow(bankIdx int) *request {
+// peekRow returns the oldest pending request for a bank's open row, or
+// nilIdx. Served requests are unlinked eagerly, so list heads are pending.
+func (ch *Channel) peekRow(bankIdx int) int32 {
 	b := &ch.banks[bankIdx]
 	if !b.open {
-		return nil
+		return nilIdx
 	}
-	key := ch.rowKey(bankIdx, b.row)
-	lst := trimServed(ch.byRow[key])
-	if len(lst) == 0 {
-		delete(ch.byRow, key)
-		return nil
+	l, ok := ch.byRow[ch.rowKey(int32(bankIdx), b.row)]
+	if !ok {
+		return nilIdx
 	}
-	ch.byRow[key] = lst
-	return lst[0]
+	return l.head
 }
 
-// peekBank returns the oldest pending request for a bank.
-func (ch *Channel) peekBank(bankIdx int) *request {
-	lst := trimServed(ch.byBank[bankIdx])
-	ch.byBank[bankIdx] = lst
-	if len(lst) == 0 {
-		return nil
-	}
-	return lst[0]
+// peekBank returns the oldest pending request for a bank, or nilIdx.
+func (ch *Channel) peekBank(bankIdx int) int32 {
+	return ch.byBank[bankIdx].head
 }
 
 // estStart estimates when a request's data could start on the bus, the
 // readiness criterion the scheduler minimises.
 func (ch *Channel) estStart(r *request) float64 {
-	now := ch.q.Now()
+	now := ch.now()
 	b := &ch.banks[r.bank]
 	var cas float64
 	if b.open && b.row == r.row {
@@ -270,45 +412,51 @@ func (ch *Channel) estStart(r *request) float64 {
 // can reach the bus soonest — row hits naturally win, and an activation on
 // an idle bank can fill a bus gap. The globally oldest request overrides
 // once it has aged out.
-func (ch *Channel) pick() *request {
+func (ch *Channel) pick() int32 {
 	old := ch.oldest()
-	if old == nil {
-		return nil
+	if old == nilIdx {
+		return nilIdx
 	}
-	if ch.q.Now()-old.arrival > ch.cfg.AgingNs {
+	if ch.now()-ch.reqs[old].arrival > ch.cfg.AgingNs {
 		return old
 	}
-	var best *request
+	best := nilIdx
 	var bestStart float64
 	for b := range ch.banks {
 		cand := ch.peekRow(b)
-		if cand == nil {
+		if cand == nilIdx {
 			cand = ch.peekBank(b)
 		}
-		if cand == nil {
+		if cand == nilIdx {
 			continue
 		}
-		est := ch.estStart(cand)
-		if best == nil || est < bestStart || (est == bestStart && cand.seq < best.seq) {
+		est := ch.estStart(&ch.reqs[cand])
+		if best == nilIdx || est < bestStart ||
+			(est == bestStart && ch.reqs[cand].seq < ch.reqs[best].seq) {
 			best = cand
 			bestStart = est
 		}
 	}
-	if best != nil {
+	if best != nilIdx {
 		return best
 	}
 	return old
 }
 
+// DrainStep runs one drain step. It is the typed-mode entry point: the
+// KindDram handler on the channel's lane routes the drain event here.
+func (ch *Channel) DrainStep() { ch.drain() }
+
 // drain serves one request and reschedules itself while work remains.
 func (ch *Channel) drain() {
-	r := ch.pick()
-	if r == nil {
+	idx := ch.pick()
+	if idx == nilIdx {
 		ch.draining = false
 		return
 	}
+	r := &ch.reqs[idx]
 	r.served = true
-	now := ch.q.Now()
+	now := ch.now()
 	b := &ch.banks[r.bank]
 
 	var cas float64
@@ -336,7 +484,7 @@ func (ch *Channel) drain() {
 	if ch.busFree > busStart {
 		busStart = ch.busFree
 	}
-	busTime := float64(r.bursts*ch.cfg.BurstCycles) * ch.cycleNs
+	busTime := float64(int(r.bursts)*ch.cfg.BurstCycles) * ch.cycleNs
 	busEnd := busStart + busTime
 
 	ch.busFree = busEnd
@@ -350,27 +498,22 @@ func (ch *Channel) drain() {
 	b.row = r.row
 
 	ch.stats.Requests++
-	ch.stats.Bursts += r.bursts
+	ch.stats.Bursts += int(r.bursts)
 	if r.meta {
-		ch.stats.MetaBursts += r.bursts
+		ch.stats.MetaBursts += int(r.bursts)
 	}
 	ch.stats.BusBusyNs += busTime
 
-	// Eagerly drop the served request from its queue lists (every pick
-	// returns the head unserved entry of its row and bank lists), deleting
-	// the row key once drained — so queue-internal memory tracks the live
-	// backlog instead of the whole trace history.
-	key := ch.rowKey(r.bank, r.row)
-	if lst := trimServed(ch.byRow[key]); len(lst) == 0 {
-		delete(ch.byRow, key)
-	} else {
-		ch.byRow[key] = lst
-	}
-	ch.byBank[r.bank] = trimServed(ch.byBank[r.bank])
+	// Eagerly drop the served request from its row and bank lists, so the
+	// scheduler's peeks always see pending heads; the FIFO recycles the
+	// arena slot when its head passes the request.
+	ch.unlink(idx)
 
 	if r.done != nil {
 		done := r.done
 		ch.q.At(busEnd, func() { done(busEnd) })
+	} else if r.doneEv.Kind != events.KindNone {
+		ch.qe.AtEvent(busEnd, r.doneEv)
 	}
 	// Pace the command stream a bounded lookahead ahead of the data bus:
 	// the next command may issue tCCD after this one, but no earlier than
@@ -381,7 +524,11 @@ func (ch *Channel) drain() {
 	if t := busEnd - prepNs; t > next {
 		next = t
 	}
-	ch.q.At(next, ch.drain)
+	if ch.qe != nil {
+		ch.qe.AtEvent(next, ch.drainEv)
+	} else {
+		ch.q.At(next, ch.drainFn)
+	}
 }
 
 // Stats returns the channel's counters.

@@ -233,11 +233,11 @@ func TestMetaBurstsAccountedSeparately(t *testing.T) {
 	}
 }
 
-// TestQueuesReleaseServedRequests is the regression test for the queue
-// memory-retention bug: peekRow/peekBank used to advance with lst = lst[1:],
-// leaving every served *request reachable from the slices' backing arrays
-// (and byRow keys alive) for the whole trace. After a long drain the
-// queue-internal structures must be empty and hold no request pointers.
+// TestQueuesReleaseServedRequests is the regression test for queue memory
+// retention: after a full drain the intrusive lists must be empty, every
+// arena slot must be back on the freelist, and no slot may retain a closure
+// reference — otherwise served requests (and their captured state) stay
+// reachable for the whole trace.
 func TestQueuesReleaseServedRequests(t *testing.T) {
 	cfg := DefaultConfig()
 	ch, q := newChan(t, cfg)
@@ -257,26 +257,54 @@ func TestQueuesReleaseServedRequests(t *testing.T) {
 		t.Errorf("byRow retains %d row keys after full drain", len(ch.byRow))
 	}
 	for b, lst := range ch.byBank {
-		if len(lst) != 0 {
-			t.Errorf("byBank[%d] retains %d entries", b, len(lst))
-		}
-		// The backing array beyond len must not pin requests either.
-		full := lst[:cap(lst)]
-		for i, r := range full {
-			if r != nil {
-				t.Errorf("byBank[%d] backing slot %d still holds a request", b, i)
-				break
-			}
+		if lst.head != nilIdx || lst.tail != nilIdx {
+			t.Errorf("byBank[%d] retains entries (head %d tail %d)", b, lst.head, lst.tail)
 		}
 	}
-	if n := len(ch.fifo) - ch.fifoHead; n != 0 {
-		t.Errorf("fifo retains %d live entries", n)
+	if ch.fifoHead != nilIdx || ch.fifoTail != nilIdx {
+		t.Errorf("fifo retains entries (head %d tail %d)", ch.fifoHead, ch.fifoTail)
 	}
-	full := ch.fifo[:cap(ch.fifo)]
-	for i, r := range full {
-		if r != nil {
-			t.Errorf("fifo backing slot %d still holds a request", i)
+	if len(ch.free) != len(ch.reqs) {
+		t.Errorf("freelist holds %d of %d arena slots after full drain",
+			len(ch.free), len(ch.reqs))
+	}
+	for i := range ch.reqs {
+		if ch.reqs[i].done != nil {
+			t.Errorf("arena slot %d still holds a completion closure", i)
 			break
 		}
+	}
+	// The arena grows to the peak backlog of one wave, never the total.
+	if len(ch.reqs) > 4096 {
+		t.Errorf("arena grew to %d slots; peak backlog per wave is 4096", len(ch.reqs))
+	}
+}
+
+// TestResetReplaysIdentically drains a request stream, resets the channel,
+// replays the identical stream, and requires identical statistics — the
+// reuse contract the alloc-free simulator depends on.
+func TestResetReplaysIdentically(t *testing.T) {
+	cfg := DefaultConfig()
+	ch, q := newChan(t, cfg)
+	run := func() Stats {
+		for i := 0; i < 512; i++ {
+			addr := uint64(i*37) * 160
+			ch.Enqueue(addr, i%4+1, nil)
+			if i%16 == 0 {
+				ch.EnqueueMeta(1<<40+uint64(i)*32, 1, nil)
+			}
+		}
+		q.Run()
+		return ch.Stats()
+	}
+	first := run()
+	ch.Reset()
+	q.Reset()
+	second := run()
+	if first != second {
+		t.Fatalf("replay after Reset diverged:\nfirst  %+v\nsecond %+v", first, second)
+	}
+	if first.Requests == 0 {
+		t.Fatal("no requests served")
 	}
 }

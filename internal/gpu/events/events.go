@@ -11,14 +11,85 @@
 // serial path (one worker draining all lanes in global key order) and the
 // parallel path (conservative time windows bounded by the minimum cross-lane
 // latency) replay identically, event for event.
+//
+// Scheduling has two forms sharing one pool and one ordering key:
+//
+//   - The typed form (AtEvent/SendEvent) carries a small value Event record
+//     dispatched to the Handler registered for its Kind — the steady-state
+//     path, which performs no heap allocation once the per-lane pools have
+//     warmed up.
+//   - The closure form (At/Send) carries a func() — retained as the
+//     reference implementation (the closure-based simulator replays through
+//     it) and for tests.
+//
+// Both forms draw ordering sequence numbers from the same per-lane counter,
+// so a model wired with typed events executes the identical event sequence
+// as its closure twin. Event records live in per-lane pools with freelists;
+// a lane's pool is touched only while that lane runs (single goroutine at a
+// time), so the pools need no locking — the freelist ownership argument is
+// the lane ownership argument. Heaps are hand-written 4-ary heaps over value
+// records: no interface boxing, no per-push allocation.
 package events
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sync"
 )
+
+// Event is one typed scheduled event: a component kind, a component-private
+// opcode, and compact arguments. It is a small value record — scheduling one
+// copies it into a pooled slot, never onto the heap.
+//
+// Field meaning is owned by the handling component; by convention Addr
+// carries a (global) memory address, Aux a packed completion (see
+// PackCompletion) and A/B small integers such as warp indices, burst counts
+// or channel numbers.
+type Event struct {
+	Addr uint64
+	Aux  uint64
+	A, B uint32
+	Kind uint8
+	Op   uint8
+}
+
+// Component kinds. A lane dispatches a typed event to the Handler registered
+// for the event's Kind, so independent components (the simulator front-end,
+// the memory-controller, a DRAM channel) can share a lane without seeing
+// each other's events.
+const (
+	// KindNone marks "no event": a zero Event is never dispatched, which is
+	// what lets an Event field double as an optional completion.
+	KindNone uint8 = iota
+	// KindSim is the simulator front-end (warp scheduling, L1/L2).
+	KindSim
+	// KindMC is the memory-controller system (front-end and channel sides).
+	KindMC
+	// KindDram is a DRAM channel's own drain scheduling.
+	KindDram
+	// KindTest is reserved for tests.
+	KindTest
+	numKinds
+)
+
+// Handler consumes typed events of one Kind on one scheduler. now is the
+// event's dispatch time (the scheduler's Now).
+type Handler interface {
+	HandleEvent(now float64, ev Event)
+}
+
+// PackCompletion packs an event's (Kind, Op, A) triple into a uint64, so a
+// completion event can ride inside another event's Aux field. Addr, Aux and
+// B are not carried — completions are by convention identified by Kind/Op
+// plus one small argument (a warp index, say).
+func PackCompletion(ev Event) uint64 {
+	return uint64(ev.Kind)<<40 | uint64(ev.Op)<<32 | uint64(ev.A)
+}
+
+// UnpackCompletion reverses PackCompletion.
+func UnpackCompletion(aux uint64) Event {
+	return Event{Kind: uint8(aux >> 40), Op: uint8(aux >> 32), A: uint32(aux)}
+}
 
 // Scheduler is the face a lane (or the legacy Queue) presents to the
 // components running on it: local time and local scheduling.
@@ -30,35 +101,131 @@ type Scheduler interface {
 	At(t float64, fn func())
 }
 
-type event struct {
+// EventScheduler is a Scheduler that also accepts typed events. Both *Queue
+// and *Lane implement it.
+type EventScheduler interface {
+	Scheduler
+	// AtEvent schedules a typed event at time t (clamped to Now), to be
+	// dispatched to the Handler registered for ev.Kind.
+	AtEvent(t float64, ev Event)
+	// SetHandler registers the Handler receiving events of the given kind.
+	SetHandler(kind uint8, h Handler)
+}
+
+// rec is one pooled event record: either a typed event or a closure. Exactly
+// one of ev/fn is meaningful (fn wins when non-nil).
+type rec struct {
+	ev Event
+	fn func()
+}
+
+// heapEnt is a heap entry: the ordering key plus the index of the record in
+// the owning scheduler's pool. Keeping the key inline means heap sifting
+// never touches the pool.
+type heapEnt struct {
 	t   float64
 	seq int64
-	fn  func()
+	src int32
+	idx int32
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+func entLess(a, b heapEnt) bool {
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	return h[i].seq < h[j].seq
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// heapPush / heapPop maintain a 4-ary min-heap over value entries. The wider
+// node cuts sift-down depth in half versus a binary heap and the value
+// records avoid container/heap's per-operation interface boxing. Heap shape
+// does not affect dispatch order: keys are unique (per-source sequence
+// numbers), so the pop order is the total (t, src, seq) order regardless of
+// arity.
+func heapPush(h []heapEnt, e heapEnt) []heapEnt {
+	h = append(h, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !entLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	return h
+}
+
+func heapPop(h []heapEnt) (heapEnt, []heapEnt) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if entLess(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !entLess(h[best], h[i]) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	return top, h
+}
+
+// pool is the record store shared by Queue and Lane: a slice arena plus a
+// freelist of vacated slots. acquire/release are O(1) and allocation-free
+// once the arena has grown to the schedule's peak depth.
+type pool struct {
+	recs []rec
+	free []int32
+}
+
+func (p *pool) acquire() int32 {
+	if n := len(p.free); n > 0 {
+		idx := p.free[n-1]
+		p.free = p.free[:n-1]
+		checkAcquire(&p.recs[idx])
+		return idx
+	}
+	p.recs = append(p.recs, rec{})
+	return int32(len(p.recs) - 1)
+}
+
+// release vacates a slot. The zero-value store also drops the closure
+// reference (or, under the eventsdebug build tag, writes a poison pattern
+// that acquire verifies) — a record must never be observed after release.
+func (p *pool) release(idx int32) {
+	p.recs[idx] = poisonRec
+	p.free = append(p.free, idx)
+}
+
+func (p *pool) reset() {
+	p.recs = p.recs[:0]
+	p.free = p.free[:0]
 }
 
 // Queue is a discrete-event queue. The zero value is ready to use.
 type Queue struct {
-	h        eventHeap
+	h        []heapEnt
+	pool     pool
+	handlers [numKinds]Handler
 	now      float64
 	seq      int64
 	executed int64
@@ -70,77 +237,88 @@ func (q *Queue) Now() float64 { return q.now }
 // Executed returns the number of events the queue has dispatched.
 func (q *Queue) Executed() int64 { return q.executed }
 
+// SetHandler registers the Handler receiving typed events of the given kind.
+func (q *Queue) SetHandler(kind uint8, h Handler) { q.handlers[kind] = h }
+
 // At schedules fn at time t; times before Now are clamped to Now.
 func (q *Queue) At(t float64, fn func()) {
+	idx := q.pool.acquire()
+	q.pool.recs[idx] = rec{fn: fn}
+	q.push(t, idx)
+}
+
+// AtEvent schedules a typed event at time t (clamped to Now).
+func (q *Queue) AtEvent(t float64, ev Event) {
+	idx := q.pool.acquire()
+	q.pool.recs[idx] = rec{ev: ev}
+	q.push(t, idx)
+}
+
+func (q *Queue) push(t float64, idx int32) {
 	if t < q.now {
 		t = q.now
 	}
 	q.seq++
-	heap.Push(&q.h, &event{t: t, seq: q.seq, fn: fn})
+	q.h = heapPush(q.h, heapEnt{t: t, seq: q.seq, idx: idx})
 }
 
 // Run drains the queue, advancing Now event by event.
 func (q *Queue) Run() {
-	for q.h.Len() > 0 {
-		e := heap.Pop(&q.h).(*event)
-		q.now = e.t
+	for len(q.h) > 0 {
+		var ent heapEnt
+		ent, q.h = heapPop(q.h)
+		r := q.pool.recs[ent.idx]
+		q.pool.release(ent.idx)
+		q.now = ent.t
 		q.executed++
-		e.fn()
+		if r.fn != nil {
+			r.fn()
+			continue
+		}
+		checkDispatch(&r)
+		h := q.handlers[r.ev.Kind]
+		if h == nil {
+			panic(fmt.Sprintf("events: no handler for kind %d (op %d)", r.ev.Kind, r.ev.Op))
+		}
+		h.HandleEvent(ent.t, r.ev)
 	}
 }
 
 // Pending returns the number of scheduled events.
-func (q *Queue) Pending() int { return q.h.Len() }
+func (q *Queue) Pending() int { return len(q.h) }
 
-// laneEvent is one scheduled event on a lane. Ordering is by (t, src, seq):
-// src is the scheduling lane and seq its per-lane scheduling counter, so the
-// key depends only on the model's deterministic behaviour, never on how the
-// engine interleaved lanes in real time.
-type laneEvent struct {
-	t   float64
-	src int32
-	seq int64
-	fn  func()
+// Reset rewinds the queue to time zero for a fresh run, keeping registered
+// handlers and the heap/pool capacity so a replay allocates nothing.
+func (q *Queue) Reset() {
+	q.h = q.h[:0]
+	q.pool.reset()
+	q.now = 0
+	q.seq = 0
+	q.executed = 0
 }
 
-func laneLess(a, b laneEvent) bool {
-	if a.t != b.t {
-		return a.t < b.t
-	}
-	if a.src != b.src {
-		return a.src < b.src
-	}
-	return a.seq < b.seq
-}
-
-type laneHeap []laneEvent
-
-func (h laneHeap) Len() int            { return len(h) }
-func (h laneHeap) Less(i, j int) bool  { return laneLess(h[i], h[j]) }
-func (h laneHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *laneHeap) Push(x interface{}) { *h = append(*h, x.(laneEvent)) }
-func (h *laneHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1].fn = nil
-	*h = old[:n-1]
-	return e
-}
-
+// outMsg is a cross-lane message buffered during a parallel window: the full
+// ordering key plus the record by value (the record is copied between the
+// lanes' pools at the barrier, never shared).
 type outMsg struct {
 	target *Lane
-	ev     laneEvent
+	t      float64
+	seq    int64
+	src    int32
+	r      rec
 }
 
 // Lane is one event shard of an Engine. A lane owns the state of the
 // component running on it; its events execute strictly in key order on a
-// single goroutine at a time, so lane-local state needs no locking. Lanes
-// interact only through Send.
+// single goroutine at a time, so lane-local state — including the lane's
+// event pool and freelist — needs no locking. Lanes interact only through
+// Send/SendEvent.
 type Lane struct {
 	id       int32
 	eng      *Engine
-	h        laneHeap
+	h        []heapEnt
+	pool     pool
+	handlers [numKinds]Handler
 	now      float64
 	genSeq   int64
 	executed int64
@@ -153,38 +331,80 @@ func (l *Lane) ID() int { return int(l.id) }
 // Now returns the lane's local simulation time.
 func (l *Lane) Now() float64 { return l.now }
 
+// SetHandler registers the Handler receiving typed events of the given kind
+// dispatched on this lane. Handlers survive Engine.Reset.
+func (l *Lane) SetHandler(kind uint8, h Handler) { l.handlers[kind] = h }
+
 // At schedules fn on this lane; times before Now are clamped to Now. It may
 // be called only from the lane's own events, or between Engine.Run calls.
 func (l *Lane) At(t float64, fn func()) {
+	idx := l.pool.acquire()
+	l.pool.recs[idx] = rec{fn: fn}
+	l.push(t, idx)
+}
+
+// AtEvent schedules a typed event on this lane; times before Now are clamped
+// to Now. Same calling constraints as At.
+func (l *Lane) AtEvent(t float64, ev Event) {
+	idx := l.pool.acquire()
+	l.pool.recs[idx] = rec{ev: ev}
+	l.push(t, idx)
+}
+
+func (l *Lane) push(t float64, idx int32) {
 	if t < l.now {
 		t = l.now
 	}
 	l.genSeq++
-	heap.Push(&l.h, laneEvent{t: t, src: l.id, seq: l.genSeq, fn: fn})
+	l.h = heapPush(l.h, heapEnt{t: t, seq: l.genSeq, src: l.id, idx: idx})
+}
+
+// checkSend validates a cross-lane send time against the engine's lookahead,
+// which is what lets the parallel engine run lanes concurrently inside a
+// time window without ever delivering a message into a lane's past.
+func (l *Lane) checkSend(to *Lane, t float64) {
+	if t < l.now+l.eng.lookahead {
+		panic(fmt.Sprintf("events: lookahead violation: lane %d at %g sends to lane %d at %g (lookahead %g)",
+			l.id, l.now, to.id, t, l.eng.lookahead))
+	}
+}
+
+// deliver routes a keyed record to the target lane: buffered in the outbox
+// during a parallel window, pushed straight into the target's pool and heap
+// (safe: only one lane runs at a time) in serial mode.
+func (l *Lane) deliver(to *Lane, t float64, r rec) {
+	l.genSeq++
+	if l.eng.parallel {
+		l.outbox = append(l.outbox, outMsg{target: to, t: t, seq: l.genSeq, src: l.id, r: r})
+		return
+	}
+	idx := to.pool.acquire()
+	to.pool.recs[idx] = r
+	to.h = heapPush(to.h, heapEnt{t: t, seq: l.genSeq, src: l.id, idx: idx})
 }
 
 // Send schedules fn on the target lane at time t, from an event executing on
 // this lane. Cross-lane sends must respect the engine's lookahead: t must be
-// at least the sending lane's Now plus the lookahead, which is what lets the
-// parallel engine run lanes concurrently inside a time window without ever
-// delivering a message into a lane's past. Sending to the own lane is a
-// plain At with no latency constraint.
+// at least the sending lane's Now plus the lookahead. Sending to the own
+// lane is a plain At with no latency constraint.
 func (l *Lane) Send(to *Lane, t float64, fn func()) {
 	if to == l {
 		l.At(t, fn)
 		return
 	}
-	if t < l.now+l.eng.lookahead {
-		panic(fmt.Sprintf("events: lookahead violation: lane %d at %g sends to lane %d at %g (lookahead %g)",
-			l.id, l.now, to.id, t, l.eng.lookahead))
-	}
-	l.genSeq++
-	ev := laneEvent{t: t, src: l.id, seq: l.genSeq, fn: fn}
-	if l.eng.parallel {
-		l.outbox = append(l.outbox, outMsg{target: to, ev: ev})
+	l.checkSend(to, t)
+	l.deliver(to, t, rec{fn: fn})
+}
+
+// SendEvent schedules a typed event on the target lane at time t, under the
+// same lookahead constraint as Send.
+func (l *Lane) SendEvent(to *Lane, t float64, ev Event) {
+	if to == l {
+		l.AtEvent(t, ev)
 		return
 	}
-	heap.Push(&to.h, ev)
+	l.checkSend(to, t)
+	l.deliver(to, t, rec{ev: ev})
 }
 
 // head returns the lane's earliest pending event time, or +Inf.
@@ -195,16 +415,48 @@ func (l *Lane) headTime() float64 {
 	return l.h[0].t
 }
 
+// step pops and dispatches the lane's earliest event.
+func (l *Lane) step() {
+	var ent heapEnt
+	ent, l.h = heapPop(l.h)
+	r := l.pool.recs[ent.idx]
+	l.pool.release(ent.idx)
+	l.now = ent.t
+	l.executed++
+	if r.fn != nil {
+		r.fn()
+		return
+	}
+	checkDispatch(&r)
+	h := l.handlers[r.ev.Kind]
+	if h == nil {
+		panic(fmt.Sprintf("events: lane %d: no handler for kind %d (op %d)", l.id, r.ev.Kind, r.ev.Op))
+	}
+	h.HandleEvent(ent.t, r.ev)
+}
+
 // runWindow executes the lane's events with time strictly below horizon.
 // Locally scheduled events that land inside the window are executed too;
 // cross-lane sends are buffered in the outbox for delivery at the barrier.
 func (l *Lane) runWindow(horizon float64) {
 	for len(l.h) > 0 && l.h[0].t < horizon {
-		ev := heap.Pop(&l.h).(laneEvent)
-		l.now = ev.t
-		l.executed++
-		ev.fn()
+		l.step()
 	}
+}
+
+// reset returns the lane to its pre-run state, keeping handlers and every
+// backing array (heap, pool, freelist, outbox) so a subsequent replay of the
+// same schedule allocates nothing.
+func (l *Lane) reset() {
+	l.h = l.h[:0]
+	l.pool.reset()
+	for i := range l.outbox {
+		l.outbox[i] = outMsg{}
+	}
+	l.outbox = l.outbox[:0]
+	l.now = 0
+	l.genSeq = 0
+	l.executed = 0
 }
 
 // Engine is a set of lanes sharing a simulated clock. Run(1) drains the
@@ -261,15 +513,25 @@ func (e *Engine) Pending() int {
 }
 
 // Executed returns the total number of events dispatched across lanes since
-// the engine was built. It is deterministic — the serial and parallel modes
-// execute the identical event sequence — but must only be read between Run
-// calls.
+// the engine was built or last Reset. It is deterministic — the serial and
+// parallel modes execute the identical event sequence — but must only be
+// read between Run calls.
 func (e *Engine) Executed() int64 {
 	var n int64
 	for _, l := range e.lanes {
 		n += l.executed
 	}
 	return n
+}
+
+// Reset rewinds the engine to time zero for a fresh replay: pending events
+// are dropped, sequence and executed counters rewound, handlers and lane
+// pool capacity kept. Replaying an identical schedule after Reset allocates
+// nothing.
+func (e *Engine) Reset() {
+	for _, l := range e.lanes {
+		l.reset()
+	}
 }
 
 // Run drains every lane. workers ≤ 1 (or a non-positive lookahead) selects
@@ -292,17 +554,14 @@ func (e *Engine) runSerial() {
 			if len(l.h) == 0 {
 				continue
 			}
-			if best == nil || laneLess(l.h[0], best.h[0]) {
+			if best == nil || entLess(l.h[0], best.h[0]) {
 				best = l
 			}
 		}
 		if best == nil {
 			return
 		}
-		ev := heap.Pop(&best.h).(laneEvent)
-		best.now = ev.t
-		best.executed++
-		ev.fn()
+		best.step()
 	}
 }
 
@@ -363,13 +622,17 @@ func (e *Engine) runParallel(workers int) {
 		active[0].runWindow(horizon)
 		wg.Wait()
 
+		// Deliver buffered messages: the barrier is single-threaded, so
+		// copying a record into the target lane's pool is race-free.
 		for _, l := range e.lanes {
 			for _, m := range l.outbox {
-				if m.ev.t < horizon {
+				if m.t < horizon {
 					panic(fmt.Sprintf("events: message from lane %d to lane %d at %g lands inside window ending %g",
-						l.id, m.target.id, m.ev.t, horizon))
+						l.id, m.target.id, m.t, horizon))
 				}
-				heap.Push(&m.target.h, m.ev)
+				idx := m.target.pool.acquire()
+				m.target.pool.recs[idx] = m.r
+				m.target.h = heapPush(m.target.h, heapEnt{t: m.t, seq: m.seq, src: m.src, idx: idx})
 			}
 			for i := range l.outbox {
 				l.outbox[i] = outMsg{}

@@ -110,6 +110,16 @@ func newMDC(lines, ways int) *mdcCache {
 	return &mdcCache{ways: ways, sets: sets}
 }
 
+// reset invalidates every line, keeping the set arrays.
+func (m *mdcCache) reset() {
+	m.clock = 0
+	for _, set := range m.sets {
+		for i := range set {
+			set[i] = mdcEntry{}
+		}
+	}
+}
+
 // lookup returns true on hit and installs the line on miss.
 func (m *mdcCache) lookup(metaLine uint64) bool {
 	m.clock++
@@ -312,6 +322,183 @@ func (s *System) Write(addr uint64, bursts int, compressed bool) {
 			})
 		})
 	})
+}
+
+// Typed-event opcodes (events.KindMC unless noted). The System is the one
+// handler for KindMC and KindDram on every lane it touches, so opcodes
+// alone select the action; ev.B always carries the channel index. Events on
+// a channel lane carry the global address — localAddr and the metadata-line
+// number are pure functions the handler recomputes, which keeps the record
+// small.
+const (
+	opNone uint8 = iota
+	// opDrain (KindDram, channel lane): run one DRAM drain step.
+	opDrain
+	// opRead (channel lane): enqueue a read, via a metadata fetch first when
+	// flagFetch is set.
+	opRead
+	// opReadIssue (channel lane): metadata arrived, enqueue the data read.
+	opReadIssue
+	// opReadDone (channel lane): data left the bus; count the decompression
+	// and forward the completion in Aux to the coordinator.
+	opReadDone
+	// opWriteData (channel lane): enqueue a posted write.
+	opWriteData
+	// opWriteMeta (channel lane): enqueue the metadata fetch for a
+	// compressed write whose MDC probe missed.
+	opWriteMeta
+	// opWriteAfterMeta (channel lane): metadata arrived; enqueue the write
+	// after the compression latency.
+	opWriteAfterMeta
+)
+
+// Event argument packing: A = bursts | flags, B = channel index, Addr =
+// global address, Aux = packed completion (reads only).
+const (
+	flagCompressed uint32 = 1 << 8
+	flagFetch      uint32 = 1 << 9
+	burstsMask     uint32 = 0xff
+)
+
+// EnableEvents registers the System as the typed-event handler for KindMC
+// and KindDram on the coordinator and every channel lane, and switches the
+// DRAM channels to typed drain scheduling. After this, ReadEvent/WriteEvent
+// run the whole memory path without allocating; the closure Read/Write stay
+// usable (the reference simulator replays through them on a System without
+// EnableEvents).
+func (s *System) EnableEvents() {
+	s.coord.SetHandler(events.KindMC, s)
+	for _, l := range s.lanes { // entries may alias; SetHandler is idempotent
+		l.SetHandler(events.KindMC, s)
+		l.SetHandler(events.KindDram, s)
+	}
+	for i, ch := range s.channels {
+		ch.EnableEvents(s.lanes[i], events.Event{Kind: events.KindDram, Op: opDrain, B: uint32(i)})
+	}
+}
+
+// Reset returns the System to its initial state — counters, MDC contents
+// and channel queues — keeping every allocation, so a replay of the same
+// access stream is allocation-free.
+func (s *System) Reset() {
+	s.front = Stats{}
+	for i := range s.laneStats {
+		s.laneStats[i] = Stats{}
+	}
+	for _, m := range s.mdcs {
+		m.reset()
+	}
+	for _, ch := range s.channels {
+		ch.Reset()
+	}
+}
+
+// ReadEvent is the typed twin of Read: doneEv (Kind/Op/A only, see
+// events.PackCompletion) is dispatched on the coordinator lane at the
+// completion time. It schedules the identical event sequence as Read, so a
+// typed simulator and its closure twin replay bitwise-identically.
+func (s *System) ReadEvent(addr uint64, bursts int, compressed bool, doneEv events.Event) {
+	s.front.Reads++
+	ch, ctrl := s.route(addr)
+	a := uint32(bursts) & burstsMask
+	if compressed {
+		_, fetch := s.probeMDC(addr, ctrl)
+		a |= flagCompressed
+		if fetch {
+			a |= flagFetch
+		}
+	}
+	s.coord.SendEvent(s.lanes[ch], s.coord.Now()+s.pathNs, events.Event{
+		Addr: addr,
+		Aux:  events.PackCompletion(doneEv),
+		A:    a,
+		B:    uint32(ch),
+		Kind: events.KindMC,
+		Op:   opRead,
+	})
+}
+
+// WriteEvent is the typed twin of Write (posted, no completion).
+func (s *System) WriteEvent(addr uint64, bursts int, compressed bool) {
+	s.front.Writes++
+	ch, ctrl := s.route(addr)
+	now := s.coord.Now()
+	ev := events.Event{
+		Addr: addr,
+		A:    uint32(bursts) & burstsMask,
+		B:    uint32(ch),
+		Kind: events.KindMC,
+		Op:   opWriteData,
+	}
+	if !compressed {
+		s.coord.SendEvent(s.lanes[ch], now+s.pathNs, ev)
+		return
+	}
+	s.front.Compresses++
+	lat := float64(s.cfg.CompressCycles) * s.cycleNs
+	_, fetch := s.probeMDC(addr, ctrl)
+	if !fetch {
+		s.coord.SendEvent(s.lanes[ch], now+s.pathNs+lat, ev)
+		return
+	}
+	ev.Op = opWriteMeta
+	s.coord.SendEvent(s.lanes[ch], now+s.pathNs, ev)
+}
+
+// metaAddr returns the DRAM address of an address's metadata line.
+func (s *System) metaAddr(addr uint64) uint64 {
+	metaLine := addr / (blocksPerMetaLine * compress.BlockSize)
+	return s.metaBase + metaLine*32
+}
+
+// HandleEvent dispatches the System's typed events. Each arm schedules
+// exactly what the corresponding closure in Read/Write schedules, in the
+// same order — the sequence-number parity that keeps typed and closure
+// replays identical.
+func (s *System) HandleEvent(now float64, ev events.Event) {
+	ch := int(ev.B)
+	switch ev.Op {
+	case opDrain:
+		s.channels[ch].DrainStep()
+	case opRead:
+		if ev.A&flagFetch != 0 {
+			meta := ev
+			meta.Op = opReadIssue
+			s.channels[ch].EnqueueEvent(s.metaAddr(ev.Addr), 1, true, meta)
+			return
+		}
+		s.issueRead(ev)
+	case opReadIssue:
+		s.issueRead(ev)
+	case opReadDone:
+		decompNs := 0.0
+		if ev.A&flagCompressed != 0 {
+			s.laneStats[ch].Decompresses++
+			decompNs = float64(s.cfg.DecompressCycles) * s.cycleNs
+		}
+		lane := s.lanes[ch]
+		lane.SendEvent(s.coord, now+decompNs+s.pathNs, events.UnpackCompletion(ev.Aux))
+	case opWriteData:
+		s.channels[ch].EnqueueEvent(s.localAddr(ev.Addr), int(ev.A&burstsMask), false, events.Event{})
+	case opWriteMeta:
+		after := ev
+		after.Op = opWriteAfterMeta
+		s.channels[ch].EnqueueEvent(s.metaAddr(ev.Addr), 1, true, after)
+	case opWriteAfterMeta:
+		lat := float64(s.cfg.CompressCycles) * s.cycleNs
+		data := ev
+		data.Op = opWriteData
+		s.lanes[ch].AtEvent(now+lat, data)
+	default:
+		panic(fmt.Sprintf("mc: unknown event op %d", ev.Op))
+	}
+}
+
+// issueRead enqueues the data read on the channel, completion opReadDone.
+func (s *System) issueRead(ev events.Event) {
+	done := ev
+	done.Op = opReadDone
+	s.channels[int(ev.B)].EnqueueEvent(s.localAddr(ev.Addr), int(ev.A&burstsMask), false, done)
 }
 
 // Stats returns the controller counters, merging the coordinator-side

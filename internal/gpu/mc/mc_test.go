@@ -193,3 +193,124 @@ func TestValidate(t *testing.T) {
 		t.Error("negative path latency accepted")
 	}
 }
+
+// completionLog records typed completions dispatched on the coordinator:
+// the (op, arg, time) stream a simulator front-end would consume.
+type completionLog struct {
+	ops   []uint8
+	args  []uint32
+	times []float64
+}
+
+func (c *completionLog) HandleEvent(now float64, ev events.Event) {
+	c.ops = append(c.ops, ev.Op)
+	c.args = append(c.args, ev.A)
+	c.times = append(c.times, now)
+}
+
+// TestTypedMatchesClosure drives the same access stream through the typed
+// (ReadEvent/WriteEvent) and closure (Read/Write) paths on two identical
+// systems and requires identical controller and DRAM statistics plus the
+// identical completion stream — times included. This is the equivalence
+// contract the typed simulator rests on.
+func TestTypedMatchesClosure(t *testing.T) {
+	type access struct {
+		addr       uint64
+		bursts     int
+		write      bool
+		compressed bool
+	}
+	var accs []access
+	for i := 0; i < 400; i++ {
+		accs = append(accs, access{
+			addr:       uint64(i*131) % 50000 * 128,
+			bursts:     i%4 + 1,
+			write:      i%5 == 0,
+			compressed: i%3 != 0,
+		})
+	}
+
+	// Typed run.
+	st, engT := newSys(t)
+	st.EnableEvents()
+	var typed completionLog
+	st.coord.SetHandler(events.KindTest, &typed)
+	for i, a := range accs {
+		if a.write {
+			st.WriteEvent(a.addr, a.bursts, a.compressed)
+		} else {
+			st.ReadEvent(a.addr, a.bursts, a.compressed,
+				events.Event{Kind: events.KindTest, Op: 7, A: uint32(i)})
+		}
+	}
+	engT.Run(1)
+
+	// Closure run.
+	sc, engC := newSys(t)
+	var closure completionLog
+	for i, a := range accs {
+		if a.write {
+			sc.Write(a.addr, a.bursts, a.compressed)
+		} else {
+			sc.Read(a.addr, a.bursts, a.compressed, func() {
+				closure.ops = append(closure.ops, 7)
+				closure.args = append(closure.args, uint32(i))
+				closure.times = append(closure.times, sc.coord.Now())
+			})
+		}
+	}
+	engC.Run(1)
+
+	if st.Stats() != sc.Stats() {
+		t.Errorf("controller stats diverge:\ntyped   %+v\nclosure %+v", st.Stats(), sc.Stats())
+	}
+	if st.DramStats() != sc.DramStats() {
+		t.Errorf("dram stats diverge:\ntyped   %+v\nclosure %+v", st.DramStats(), sc.DramStats())
+	}
+	if len(typed.ops) != len(closure.ops) {
+		t.Fatalf("completion counts diverge: typed %d, closure %d", len(typed.ops), len(closure.ops))
+	}
+	for i := range typed.ops {
+		if typed.ops[i] != closure.ops[i] || typed.args[i] != closure.args[i] ||
+			typed.times[i] != closure.times[i] {
+			t.Fatalf("completion %d diverges: typed (op %d, arg %d, t %g), closure (op %d, arg %d, t %g)",
+				i, typed.ops[i], typed.args[i], typed.times[i],
+				closure.ops[i], closure.args[i], closure.times[i])
+		}
+	}
+}
+
+// TestSystemResetReplays drives a stream, resets, replays, and requires
+// identical statistics — the reuse contract behind the alloc-free replay.
+func TestSystemResetReplays(t *testing.T) {
+	s, eng := newSys(t)
+	s.EnableEvents()
+	run := func() (Stats, [12]int) {
+		for i := 0; i < 300; i++ {
+			addr := uint64(i*257) % 40000 * 128
+			if i%4 == 0 {
+				s.WriteEvent(addr, i%3+1, i%2 == 0)
+			} else {
+				s.ReadEvent(addr, i%4+1, i%2 == 0, events.Event{Kind: events.KindTest, Op: 1})
+			}
+		}
+		eng.Run(1)
+		var reqs [12]int
+		for i, ch := range s.channels {
+			reqs[i] = ch.Stats().Requests
+		}
+		return s.Stats(), reqs
+	}
+	s.coord.SetHandler(events.KindTest, &completionLog{})
+	first, firstReqs := run()
+	s.Reset()
+	eng.Reset()
+	second, secondReqs := run()
+	if first != second || firstReqs != secondReqs {
+		t.Fatalf("replay after Reset diverged:\nfirst  %+v %v\nsecond %+v %v",
+			first, firstReqs, second, secondReqs)
+	}
+	if first.Reads == 0 || first.Writes == 0 {
+		t.Fatal("stream exercised no reads or writes")
+	}
+}

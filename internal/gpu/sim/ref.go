@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/gpu/cache"
+	"repro/internal/gpu/events"
+	"repro/internal/gpu/mc"
+	"repro/internal/gpu/trace"
+)
+
+// This file is the closure-based reference simulator: the model wired with
+// func() events (events.Lane.At/Send) instead of typed records. It schedules
+// the identical event sequence as the typed Simulator — both draw ordering
+// sequence numbers from the same per-lane counters at the same call sites —
+// so RunRef must produce a Result bitwise-equal to Replay's. The equivalence
+// test pins that; the reference also documents the model in plain Go, with
+// each continuation visible as a closure at its scheduling site.
+
+type refSM struct {
+	issueFreeNs float64
+	pending     []*warpState
+	resident    int
+}
+
+type refSimulator struct {
+	cfg       Config
+	smCycleNs float64
+	eng       *events.Engine
+	// q is the coordinator lane: every SM, L1, L2 and warp-scheduling event
+	// runs here, so all simulator state below is lane-local to it.
+	q         *events.Lane
+	l1s       []*cache.Cache
+	l2        *cache.Cache
+	mem       *mc.System
+	sms       []refSM
+	lastWrite map[uint64]blockXfer
+	remaining int
+	endNs     float64
+	res       Result
+}
+
+// RunRef replays a trace through the closure-based reference engine. It is
+// retained as the semantic anchor for the typed Simulator: the two must
+// return identical Results (see TestTypedMatchesRef).
+func RunRef(tr *trace.Trace, cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	l2, err := cache.New(cfg.L2)
+	if err != nil {
+		return Result{}, err
+	}
+	smCycleNs := 1e3 / cfg.SMClockMHz
+	pathNs := float64(cfg.MemPathCycles) * smCycleNs
+	nchan := cfg.MC.Channels()
+	eng := events.NewEngine(1+nchan, pathNs)
+	coord := eng.Lane(0)
+	chanLanes := make([]*events.Lane, nchan)
+	for i := range chanLanes {
+		chanLanes[i] = eng.Lane(1 + i)
+	}
+	mem, err := mc.New(cfg.MC, coord, chanLanes, pathNs)
+	if err != nil {
+		return Result{}, err
+	}
+	st := &refSimulator{
+		cfg:       cfg,
+		smCycleNs: smCycleNs,
+		eng:       eng,
+		q:         coord,
+		l2:        l2,
+		mem:       mem,
+		sms:       make([]refSM, cfg.SMs),
+		lastWrite: make(map[uint64]blockXfer),
+	}
+	if cfg.L1.SizeBytes > 0 {
+		st.l1s = make([]*cache.Cache, cfg.SMs)
+		for i := range st.l1s {
+			if st.l1s[i], err = cache.New(cfg.L1); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	for i := range tr.Kernels {
+		st.runKernel(&tr.Kernels[i])
+	}
+	st.res.TimeNs = st.endNs
+	st.res.SMCycles = st.endNs / st.smCycleNs
+	for _, l1 := range st.l1s {
+		cs := l1.Stats()
+		st.res.L1.Hits += cs.Hits
+		st.res.L1.Misses += cs.Misses
+	}
+	st.res.L2 = st.l2.Stats()
+	st.res.MC = st.mem.Stats()
+	ds := st.mem.DramStats()
+	st.res.DramBursts = ds.Bursts
+	st.res.DramMetaBursts = ds.MetaBursts
+	st.res.DramBytes = (ds.Bursts - ds.MetaBursts) * int(cfg.MAG)
+	st.res.RowHits = ds.RowHits
+	st.res.RowMisses = ds.RowMisses
+	st.res.Activations = ds.Activations
+	st.res.BusBusyNs = ds.BusBusyNs
+	return st.res, nil
+}
+
+func (s *refSimulator) runKernel(k *trace.Kernel) {
+	start := s.endNs
+	// L1s are flushed at kernel boundaries, as on real GPUs.
+	for i := range s.l1s {
+		old := s.l1s[i].Stats()
+		s.res.L1.Hits += old.Hits
+		s.res.L1.Misses += old.Misses
+		s.l1s[i].Reset()
+	}
+	// Write-back geometry is forgotten at kernel boundaries too: kernel
+	// N+1's evictions of blocks last written by kernel N fall back to the
+	// uncompressed MaxBursts transfer instead of replaying stale compressed
+	// geometry across the barrier.
+	clear(s.lastWrite)
+	warps := make([]*warpState, 0, len(k.Warps))
+	for i, accs := range k.Warps {
+		if len(accs) == 0 {
+			continue
+		}
+		warps = append(warps, &warpState{accs: accs, sm: i % s.cfg.SMs})
+	}
+	s.remaining = len(warps)
+	s.res.Warps += len(warps)
+	if s.remaining == 0 {
+		return
+	}
+	for i := range s.sms {
+		s.sms[i].pending = s.sms[i].pending[:0]
+		s.sms[i].resident = 0
+		if s.sms[i].issueFreeNs < start {
+			s.sms[i].issueFreeNs = start
+		}
+	}
+	for _, w := range warps {
+		smv := &s.sms[w.sm]
+		if smv.resident < s.cfg.MaxWarpsPerSM {
+			smv.resident++
+			w := w
+			s.q.At(start, func() { s.tryIssueNext(w, s.q.Now()) })
+		} else {
+			smv.pending = append(smv.pending, w)
+		}
+	}
+	s.eng.Run(s.cfg.Workers)
+	if t := s.eng.Now(); t > s.endNs {
+		s.endNs = t
+	}
+	if s.remaining != 0 {
+		panic(fmt.Sprintf("sim: kernel %s drained with %d warps unfinished", k.Name, s.remaining))
+	}
+}
+
+// tryIssueNext advances a warp: it issues the next access's compute segment
+// unless the warp's load window is full or its stream is exhausted.
+func (s *refSimulator) tryIssueNext(w *warpState, t float64) {
+	if w.idx >= len(w.accs) {
+		s.maybeFinish(w, t)
+		return
+	}
+	if w.outstanding >= s.cfg.WarpMLP {
+		w.stalled = true
+		return
+	}
+	a := w.accs[w.idx]
+	w.idx++
+	smv := &s.sms[w.sm]
+	startIssue := t
+	if smv.issueFreeNs > startIssue {
+		startIssue = smv.issueFreeNs
+	}
+	// The compute gap consumes issue bandwidth: 1 instruction per SM cycle
+	// aggregated across the SM's warps.
+	endIssue := startIssue + float64(a.Compute)*s.smCycleNs
+	smv.issueFreeNs = endIssue
+	s.res.Instructions += int64(a.Compute)
+	s.q.At(endIssue, func() { s.issueAccess(w, a) })
+}
+
+// issueAccess performs the L1/L2/DRAM path of one access. Reads join the
+// warp's load window (stall-on-use with WarpMLP outstanding loads); writes
+// are posted and write through the L1. The memory controller pays the
+// L2↔controller path latency on each cross-lane hop, so a DRAM read's
+// response arrives pathNs + bus transfer (+ decompression) + pathNs later.
+func (s *refSimulator) issueAccess(w *warpState, a trace.Access) {
+	now := s.q.Now()
+	s.res.Accesses++
+	if s.l1s != nil {
+		l1 := s.l1s[w.sm]
+		if a.Write {
+			l1.Invalidate(a.Addr)
+		} else if r := l1.Access(a.Addr, false); r.Hit {
+			w.outstanding++
+			hitNs := float64(s.cfg.L1HitCycles) * s.smCycleNs
+			s.q.At(now+hitNs, func() { s.respond(w) })
+			s.q.At(now, func() { s.tryIssueNext(w, s.q.Now()) })
+			return
+		}
+	}
+	res := s.l2.Access(a.Addr, a.Write)
+	if res.HasWriteback {
+		wb, ok := s.lastWrite[res.WritebackAddr]
+		if !ok {
+			wb = blockXfer{bursts: s.cfg.MAG.MaxBursts(), compressed: false}
+		}
+		s.mem.Write(res.WritebackAddr, wb.bursts, wb.compressed)
+	}
+	if a.Write {
+		// Record the block's compressed geometry for its eventual
+		// writeback; stores are posted, the warp does not wait.
+		s.lastWrite[a.Addr] = blockXfer{bursts: int(a.Bursts), compressed: a.Compressed}
+		s.q.At(now, func() { s.tryIssueNext(w, s.q.Now()) })
+		return
+	}
+	w.outstanding++
+	hitNs := float64(s.cfg.L2HitCycles) * s.smCycleNs
+	if res.Hit {
+		s.q.At(now+hitNs, func() { s.respond(w) })
+	} else {
+		s.mem.Read(a.Addr, int(a.Bursts), a.Compressed, func() { s.respond(w) })
+	}
+	// Independent next instructions keep issuing behind the load.
+	s.q.At(now, func() { s.tryIssueNext(w, s.q.Now()) })
+}
+
+// respond retires one outstanding load and unblocks the warp.
+func (s *refSimulator) respond(w *warpState) {
+	w.outstanding--
+	if w.stalled {
+		w.stalled = false
+		s.tryIssueNext(w, s.q.Now())
+		return
+	}
+	s.maybeFinish(w, s.q.Now())
+}
+
+// maybeFinish retires the warp once its stream and load window are drained.
+func (s *refSimulator) maybeFinish(w *warpState, t float64) {
+	if w.done || w.idx < len(w.accs) || w.outstanding > 0 {
+		return
+	}
+	w.done = true
+	s.finishWarp(w, t)
+}
+
+func (s *refSimulator) finishWarp(w *warpState, t float64) {
+	smv := &s.sms[w.sm]
+	smv.resident--
+	if len(smv.pending) > 0 {
+		next := smv.pending[0]
+		smv.pending = smv.pending[1:]
+		smv.resident++
+		s.tryIssueNext(next, t)
+	}
+	s.remaining--
+}

@@ -17,6 +17,15 @@
 // latency. That latency is the engine's lookahead, so Config.Workers > 1
 // replays the lanes concurrently inside conservative time windows with
 // results bitwise-identical to the serial engine (Workers ≤ 1).
+//
+// Simulator is the typed-event implementation: warp progress is driven by
+// small value Event records (opTryIssue/opIssue/opRespond) dispatched
+// through the lanes' handler tables, and all model state — engine, caches,
+// memory system, warp and SM arrays — is built once in New and reset in
+// place by Replay. After a warm-up replay the steady-state loop performs
+// zero heap allocations (pinned by TestSimSteadyStateAllocFree). RunRef in
+// ref.go is the closure-based twin that schedules the identical event
+// sequence; the two must return bitwise-equal Results.
 package sim
 
 import (
@@ -128,11 +137,28 @@ type warpState struct {
 
 type smState struct {
 	issueFreeNs float64
-	pending     []*warpState
-	resident    int
+	// pending holds warp indices waiting for residency; pendHead advances
+	// instead of re-slicing so the backing array is reusable across kernels
+	// and replays.
+	pending  []int32
+	pendHead int
+	resident int
 }
 
-type simulator struct {
+// Simulator front-end opcodes (events.KindSim). ev.A is the warp index into
+// the current kernel's warp array; opIssue's ev.B is the access index.
+const (
+	opTryIssue uint8 = iota + 1
+	opIssue
+	opRespond
+)
+
+// Simulator replays traces under one fixed configuration. It is the
+// long-lived face of the simulation core: the engine, caches, memory system
+// and warp arrays are built by New and reset in place by Replay, so
+// throughput tooling (`slcbench -simbench`, the Sim trajectory section) can
+// replay the same trace repeatedly without allocating.
+type Simulator struct {
 	cfg       Config
 	smCycleNs float64
 	eng       *events.Engine
@@ -143,33 +169,74 @@ type simulator struct {
 	l2        *cache.Cache
 	mem       *mc.System
 	sms       []smState
+	warps     []warpState
 	lastWrite map[uint64]blockXfer
 	remaining int
 	endNs     float64
 	res       Result
+	events    int64
 }
 
-// Simulator replays traces under one fixed configuration. It is the
-// long-lived face of the simulation core: throughput tooling (`slcbench
-// -simbench`, the Sim trajectory section) replays the same trace repeatedly
-// through one Simulator and reads the executed-event count per replay.
-type Simulator struct {
-	cfg    Config
-	events int64
+// validate checks the front-end parameters (the cache and mc configurations
+// validate themselves in their constructors).
+func (c Config) validate() error {
+	if c.SMs <= 0 || c.SMClockMHz <= 0 || c.MaxWarpsPerSM <= 0 || c.WarpMLP <= 0 {
+		return fmt.Errorf("sim: bad SM configuration %+v", c)
+	}
+	if !c.MAG.Valid() {
+		return fmt.Errorf("sim: invalid MAG %d", c.MAG)
+	}
+	if c.MemPathCycles < 0 {
+		return fmt.Errorf("sim: negative MemPathCycles %d", c.MemPathCycles)
+	}
+	return nil
 }
 
-// New validates the configuration and returns a Simulator for it.
+// New validates the configuration and builds a Simulator for it.
 func New(cfg Config) (*Simulator, error) {
-	if cfg.SMs <= 0 || cfg.SMClockMHz <= 0 || cfg.MaxWarpsPerSM <= 0 || cfg.WarpMLP <= 0 {
-		return nil, fmt.Errorf("sim: bad SM configuration %+v", cfg)
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
-	if !cfg.MAG.Valid() {
-		return nil, fmt.Errorf("sim: invalid MAG %d", cfg.MAG)
+	l2, err := cache.New(cfg.L2)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.MemPathCycles < 0 {
-		return nil, fmt.Errorf("sim: negative MemPathCycles %d", cfg.MemPathCycles)
+	smCycleNs := 1e3 / cfg.SMClockMHz
+	pathNs := float64(cfg.MemPathCycles) * smCycleNs
+	// One lane for the coordinator plus one per GDDR5 channel; the memory
+	// path is the minimum cross-lane latency and therefore the lookahead.
+	nchan := cfg.MC.Channels()
+	eng := events.NewEngine(1+nchan, pathNs)
+	coord := eng.Lane(0)
+	chanLanes := make([]*events.Lane, nchan)
+	for i := range chanLanes {
+		chanLanes[i] = eng.Lane(1 + i)
 	}
-	return &Simulator{cfg: cfg}, nil
+	mem, err := mc.New(cfg.MC, coord, chanLanes, pathNs)
+	if err != nil {
+		return nil, err
+	}
+	mem.EnableEvents()
+	s := &Simulator{
+		cfg:       cfg,
+		smCycleNs: smCycleNs,
+		eng:       eng,
+		q:         coord,
+		l2:        l2,
+		mem:       mem,
+		sms:       make([]smState, cfg.SMs),
+		lastWrite: make(map[uint64]blockXfer),
+	}
+	coord.SetHandler(events.KindSim, s)
+	if cfg.L1.SizeBytes > 0 {
+		s.l1s = make([]*cache.Cache, cfg.SMs)
+		for i := range s.l1s {
+			if s.l1s[i], err = cache.New(cfg.L1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
 }
 
 // Events returns the number of discrete events the engine executed during
@@ -186,119 +253,110 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 }
 
 // Replay replays one trace from a cold start and returns timing and event
-// counts. Replaying the same trace twice yields bitwise-identical Results.
+// counts. Replaying the same trace twice yields bitwise-identical Results;
+// after the first replay has grown the event pools and queue arenas to the
+// trace's high-water marks, further replays do not touch the heap.
 func (s *Simulator) Replay(tr *trace.Trace) (Result, error) {
-	cfg := s.cfg
-	l2, err := cache.New(cfg.L2)
-	if err != nil {
-		return Result{}, err
+	s.reset()
+	for i := range tr.Kernels {
+		s.runKernel(&tr.Kernels[i])
 	}
-	smCycleNs := 1e3 / cfg.SMClockMHz
-	pathNs := float64(cfg.MemPathCycles) * smCycleNs
-	// One lane for the coordinator plus one per GDDR5 channel; the memory
-	// path is the minimum cross-lane latency and therefore the lookahead.
-	nchan := cfg.MC.Channels()
-	eng := events.NewEngine(1+nchan, pathNs)
-	coord := eng.Lane(0)
-	chanLanes := make([]*events.Lane, nchan)
-	for i := range chanLanes {
-		chanLanes[i] = eng.Lane(1 + i)
-	}
-	mem, err := mc.New(cfg.MC, coord, chanLanes, pathNs)
-	if err != nil {
-		return Result{}, err
-	}
-	st := &simulator{
-		cfg:       cfg,
-		smCycleNs: smCycleNs,
-		eng:       eng,
-		q:         coord,
-		l2:        l2,
-		mem:       mem,
-		sms:       make([]smState, cfg.SMs),
-		lastWrite: make(map[uint64]blockXfer),
-	}
-	if cfg.L1.SizeBytes > 0 {
-		st.l1s = make([]*cache.Cache, cfg.SMs)
-		for i := range st.l1s {
-			if st.l1s[i], err = cache.New(cfg.L1); err != nil {
-				return Result{}, err
-			}
-		}
-	}
-	for _, k := range tr.Kernels {
-		st.runKernel(&k)
-	}
-	st.res.TimeNs = st.endNs
-	st.res.SMCycles = st.endNs / st.smCycleNs
-	for _, l1 := range st.l1s {
+	s.res.TimeNs = s.endNs
+	s.res.SMCycles = s.endNs / s.smCycleNs
+	for _, l1 := range s.l1s {
 		cs := l1.Stats()
-		st.res.L1.Hits += cs.Hits
-		st.res.L1.Misses += cs.Misses
+		s.res.L1.Hits += cs.Hits
+		s.res.L1.Misses += cs.Misses
 	}
-	st.res.L2 = st.l2.Stats()
-	st.res.MC = st.mem.Stats()
-	ds := st.mem.DramStats()
-	st.res.DramBursts = ds.Bursts
-	st.res.DramMetaBursts = ds.MetaBursts
-	st.res.DramBytes = (ds.Bursts - ds.MetaBursts) * int(cfg.MAG)
-	st.res.RowHits = ds.RowHits
-	st.res.RowMisses = ds.RowMisses
-	st.res.Activations = ds.Activations
-	st.res.BusBusyNs = ds.BusBusyNs
-	s.events = eng.Executed()
-	return st.res, nil
+	s.res.L2 = s.l2.Stats()
+	s.res.MC = s.mem.Stats()
+	ds := s.mem.DramStats()
+	s.res.DramBursts = ds.Bursts
+	s.res.DramMetaBursts = ds.MetaBursts
+	s.res.DramBytes = (ds.Bursts - ds.MetaBursts) * int(s.cfg.MAG)
+	s.res.RowHits = ds.RowHits
+	s.res.RowMisses = ds.RowMisses
+	s.res.Activations = ds.Activations
+	s.res.BusBusyNs = ds.BusBusyNs
+	s.events = s.eng.Executed()
+	return s.res, nil
 }
 
-func (s *simulator) runKernel(k *trace.Kernel) {
+// reset rewinds every component to its cold-start state in place.
+func (s *Simulator) reset() {
+	s.eng.Reset()
+	s.mem.Reset()
+	s.l2.Reset()
+	for _, l1 := range s.l1s {
+		l1.Reset()
+	}
+	for i := range s.sms {
+		s.sms[i] = smState{pending: s.sms[i].pending[:0]}
+	}
+	s.warps = s.warps[:0]
+	clear(s.lastWrite)
+	s.remaining = 0
+	s.endNs = 0
+	s.res = Result{}
+	s.events = 0
+}
+
+// HandleEvent dispatches the front-end's typed events on the coordinator.
+func (s *Simulator) HandleEvent(now float64, ev events.Event) {
+	switch ev.Op {
+	case opTryIssue:
+		s.tryIssueNext(int32(ev.A), now)
+	case opIssue:
+		w := &s.warps[ev.A]
+		s.issueAccess(int32(ev.A), w.accs[ev.B], now)
+	case opRespond:
+		s.respond(int32(ev.A), now)
+	default:
+		panic(fmt.Sprintf("sim: unknown event op %d", ev.Op))
+	}
+}
+
+func (s *Simulator) runKernel(k *trace.Kernel) {
 	start := s.endNs
 	// L1s are flushed at kernel boundaries, as on real GPUs.
-	if s.l1s != nil {
-		for i := range s.l1s {
-			old := s.l1s[i].Stats()
-			s.res.L1.Hits += old.Hits
-			s.res.L1.Misses += old.Misses
-			fresh, err := cache.New(s.cfg.L1)
-			if err != nil {
-				panic(err)
-			}
-			s.l1s[i] = fresh
-		}
+	for i := range s.l1s {
+		old := s.l1s[i].Stats()
+		s.res.L1.Hits += old.Hits
+		s.res.L1.Misses += old.Misses
+		s.l1s[i].Reset()
 	}
 	// Write-back geometry is forgotten at kernel boundaries too: kernel
 	// N+1's evictions of blocks last written by kernel N fall back to the
 	// uncompressed MaxBursts transfer instead of replaying stale compressed
 	// geometry across the barrier.
-	if len(s.lastWrite) > 0 {
-		s.lastWrite = make(map[uint64]blockXfer)
-	}
-	warps := make([]*warpState, 0, len(k.Warps))
+	clear(s.lastWrite)
+	s.warps = s.warps[:0]
 	for i, accs := range k.Warps {
 		if len(accs) == 0 {
 			continue
 		}
-		warps = append(warps, &warpState{accs: accs, sm: i % s.cfg.SMs})
+		s.warps = append(s.warps, warpState{accs: accs, sm: i % s.cfg.SMs})
 	}
-	s.remaining = len(warps)
-	s.res.Warps += len(warps)
+	s.remaining = len(s.warps)
+	s.res.Warps += len(s.warps)
 	if s.remaining == 0 {
 		return
 	}
 	for i := range s.sms {
 		s.sms[i].pending = s.sms[i].pending[:0]
+		s.sms[i].pendHead = 0
 		s.sms[i].resident = 0
 		if s.sms[i].issueFreeNs < start {
 			s.sms[i].issueFreeNs = start
 		}
 	}
-	for _, w := range warps {
-		smv := &s.sms[w.sm]
+	for wi := range s.warps {
+		smv := &s.sms[s.warps[wi].sm]
 		if smv.resident < s.cfg.MaxWarpsPerSM {
 			smv.resident++
-			w := w
-			s.q.At(start, func() { s.tryIssueNext(w, s.q.Now()) })
+			s.q.AtEvent(start, events.Event{Kind: events.KindSim, Op: opTryIssue, A: uint32(wi)})
 		} else {
-			smv.pending = append(smv.pending, w)
+			smv.pending = append(smv.pending, int32(wi))
 		}
 	}
 	s.eng.Run(s.cfg.Workers)
@@ -312,16 +370,18 @@ func (s *simulator) runKernel(k *trace.Kernel) {
 
 // tryIssueNext advances a warp: it issues the next access's compute segment
 // unless the warp's load window is full or its stream is exhausted.
-func (s *simulator) tryIssueNext(w *warpState, t float64) {
+func (s *Simulator) tryIssueNext(wi int32, t float64) {
+	w := &s.warps[wi]
 	if w.idx >= len(w.accs) {
-		s.maybeFinish(w, t)
+		s.maybeFinish(wi, t)
 		return
 	}
 	if w.outstanding >= s.cfg.WarpMLP {
 		w.stalled = true
 		return
 	}
-	a := w.accs[w.idx]
+	ai := w.idx
+	a := &w.accs[ai]
 	w.idx++
 	smv := &s.sms[w.sm]
 	startIssue := t
@@ -333,7 +393,7 @@ func (s *simulator) tryIssueNext(w *warpState, t float64) {
 	endIssue := startIssue + float64(a.Compute)*s.smCycleNs
 	smv.issueFreeNs = endIssue
 	s.res.Instructions += int64(a.Compute)
-	s.q.At(endIssue, func() { s.issueAccess(w, a) })
+	s.q.AtEvent(endIssue, events.Event{Kind: events.KindSim, Op: opIssue, A: uint32(wi), B: uint32(ai)})
 }
 
 // issueAccess performs the L1/L2/DRAM path of one access. Reads join the
@@ -341,9 +401,11 @@ func (s *simulator) tryIssueNext(w *warpState, t float64) {
 // are posted and write through the L1. The memory controller pays the
 // L2↔controller path latency on each cross-lane hop, so a DRAM read's
 // response arrives pathNs + bus transfer (+ decompression) + pathNs later.
-func (s *simulator) issueAccess(w *warpState, a trace.Access) {
-	now := s.q.Now()
+func (s *Simulator) issueAccess(wi int32, a trace.Access, now float64) {
+	w := &s.warps[wi]
 	s.res.Accesses++
+	respondEv := events.Event{Kind: events.KindSim, Op: opRespond, A: uint32(wi)}
+	tryEv := events.Event{Kind: events.KindSim, Op: opTryIssue, A: uint32(wi)}
 	if s.l1s != nil {
 		l1 := s.l1s[w.sm]
 		if a.Write {
@@ -351,8 +413,8 @@ func (s *simulator) issueAccess(w *warpState, a trace.Access) {
 		} else if r := l1.Access(a.Addr, false); r.Hit {
 			w.outstanding++
 			hitNs := float64(s.cfg.L1HitCycles) * s.smCycleNs
-			s.q.At(now+hitNs, func() { s.respond(w) })
-			s.q.At(now, func() { s.tryIssueNext(w, s.q.Now()) })
+			s.q.AtEvent(now+hitNs, respondEv)
+			s.q.AtEvent(now, tryEv)
 			return
 		}
 	}
@@ -362,52 +424,50 @@ func (s *simulator) issueAccess(w *warpState, a trace.Access) {
 		if !ok {
 			wb = blockXfer{bursts: s.cfg.MAG.MaxBursts(), compressed: false}
 		}
-		s.mem.Write(res.WritebackAddr, wb.bursts, wb.compressed)
+		s.mem.WriteEvent(res.WritebackAddr, wb.bursts, wb.compressed)
 	}
 	if a.Write {
 		// Record the block's compressed geometry for its eventual
 		// writeback; stores are posted, the warp does not wait.
 		s.lastWrite[a.Addr] = blockXfer{bursts: int(a.Bursts), compressed: a.Compressed}
-		s.q.At(now, func() { s.tryIssueNext(w, s.q.Now()) })
+		s.q.AtEvent(now, tryEv)
 		return
 	}
 	w.outstanding++
 	hitNs := float64(s.cfg.L2HitCycles) * s.smCycleNs
 	if res.Hit {
-		s.q.At(now+hitNs, func() { s.respond(w) })
+		s.q.AtEvent(now+hitNs, respondEv)
 	} else {
-		s.mem.Read(a.Addr, int(a.Bursts), a.Compressed, func() { s.respond(w) })
+		s.mem.ReadEvent(a.Addr, int(a.Bursts), a.Compressed, respondEv)
 	}
 	// Independent next instructions keep issuing behind the load.
-	s.q.At(now, func() { s.tryIssueNext(w, s.q.Now()) })
+	s.q.AtEvent(now, tryEv)
 }
 
 // respond retires one outstanding load and unblocks the warp.
-func (s *simulator) respond(w *warpState) {
+func (s *Simulator) respond(wi int32, now float64) {
+	w := &s.warps[wi]
 	w.outstanding--
 	if w.stalled {
 		w.stalled = false
-		s.tryIssueNext(w, s.q.Now())
+		s.tryIssueNext(wi, now)
 		return
 	}
-	s.maybeFinish(w, s.q.Now())
+	s.maybeFinish(wi, now)
 }
 
 // maybeFinish retires the warp once its stream and load window are drained.
-func (s *simulator) maybeFinish(w *warpState, t float64) {
+func (s *Simulator) maybeFinish(wi int32, t float64) {
+	w := &s.warps[wi]
 	if w.done || w.idx < len(w.accs) || w.outstanding > 0 {
 		return
 	}
 	w.done = true
-	s.finishWarp(w, t)
-}
-
-func (s *simulator) finishWarp(w *warpState, t float64) {
 	smv := &s.sms[w.sm]
 	smv.resident--
-	if len(smv.pending) > 0 {
-		next := smv.pending[0]
-		smv.pending = smv.pending[1:]
+	if smv.pendHead < len(smv.pending) {
+		next := smv.pending[smv.pendHead]
+		smv.pendHead++
 		smv.resident++
 		s.tryIssueNext(next, t)
 	}
