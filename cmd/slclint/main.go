@@ -1,0 +1,195 @@
+// Command slclint runs the repository's static-analysis suite — the
+// determinism, poolsafety, allocfree and registry analyzers from
+// internal/analysis — over the given package patterns and exits non-zero on
+// any finding. It is the build-time twin of the runtime invariants CI
+// already replays (bitwise-deterministic shard tests, eventsdebug poison
+// checks, AllocsPerRun pins, the fuzz coverage guard): the moment a change
+// reintroduces a flagged construct, the lint job fails, before any test has
+// to hit the right input.
+//
+// Usage:
+//
+//	go run ./cmd/slclint [-json] [-vet] ./...
+//
+// Deliberate exceptions are annotated in source:
+//
+//	//slclint:allow <analyzer> <reason>
+//
+// on (or immediately above) the offending line. -json emits machine-readable
+// diagnostics — including the suppressed ones with their reasons — for the
+// sweep/trajectory tooling to track lint status per commit. -vet additionally
+// shells out to `go vet` (the subset of upstream vet checks this offline
+// multichecker cannot link against) and merges its exit status.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonDiag is the -json wire form of one diagnostic. Suppressed findings are
+// included with their allow reason so trajectory tooling can watch the
+// exception count, but they do not affect the exit status.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Allowed  bool   `json:"allowed,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("slclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON diagnostics")
+	vet := fs.Bool("vet", false, "also run `go vet` on the same patterns")
+	list := fs.Bool("analyzers", false, "list registered analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: slclint [-json] [-vet] packages...\n\nAnalyzers:\n")
+		for _, a := range Analyzers() {
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range Analyzers() {
+			fmt.Fprintln(stdout, a.Name)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	diags, allowed, err := Lint(".", patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "slclint:", err)
+		return 2
+	}
+
+	exit := 0
+	if *jsonOut {
+		all := append(append([]jsonDiag{}, diags...), allowed...)
+		sortDiags(all)
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(stderr, "slclint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "slclint: %d finding(s)\n", len(diags))
+		exit = 1
+	}
+
+	if *vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = stdout
+		cmd.Stderr = stderr
+		if err := cmd.Run(); err != nil {
+			if exit == 0 {
+				exit = 1
+			}
+		}
+	}
+	return exit
+}
+
+// Analyzers returns the suite this binary registers: exactly the analyzers
+// exported by internal/analysis (a guard test pins the correspondence).
+func Analyzers() []*analysis.Analyzer {
+	return analysis.All()
+}
+
+// Lint loads patterns from dir and runs the full suite, returning active
+// findings and allow-suppressed findings separately.
+func Lint(dir string, patterns []string) (findings, suppressed []jsonDiag, err error) {
+	prog, err := load.Load(dir, patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var diags []analysis.Diagnostic
+	report := func(d analysis.Diagnostic) { diags = append(diags, d) }
+
+	analyzers := Analyzers()
+	for _, p := range prog.Packages {
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(p.Path) {
+				continue
+			}
+			pass := prog.NewPass(a, p, report)
+			if err := a.Run(pass); err != nil {
+				return nil, nil, fmt.Errorf("%s: %s: %v", a.Name, p.Path, err)
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finalize != nil {
+			a.Finalize(prog, report)
+		}
+	}
+
+	// Allow suppression: scan every analyzed file's comments once.
+	var files []*ast.File
+	for _, p := range prog.Packages {
+		files = append(files, p.Files...)
+		files = append(files, p.TestFiles...)
+	}
+	allows := analysis.CollectAllows(prog.Fset, files, analyzers)
+	diags = append(diags, allows.Malformed...)
+
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		jd := jsonDiag{File: pos.Filename, Line: pos.Line, Col: pos.Column, Analyzer: d.Analyzer, Message: d.Message}
+		if a, ok := allows.Suppresses(d); ok {
+			jd.Allowed, jd.Reason = true, a.Reason
+			suppressed = append(suppressed, jd)
+			continue
+		}
+		findings = append(findings, jd)
+	}
+	sortDiags(findings)
+	sortDiags(suppressed)
+	return findings, suppressed, nil
+}
+
+func sortDiags(ds []jsonDiag) {
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].File != ds[j].File {
+			return ds[i].File < ds[j].File
+		}
+		if ds[i].Line != ds[j].Line {
+			return ds[i].Line < ds[j].Line
+		}
+		if ds[i].Col != ds[j].Col {
+			return ds[i].Col < ds[j].Col
+		}
+		return ds[i].Analyzer < ds[j].Analyzer
+	})
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestDriverRegistersExactSuite pins cmd/slclint's analyzer set to the suite
+// exported by internal/analysis: an analyzer added to analysis.All() is
+// picked up (and listed by -analyzers and -help) automatically, and the
+// driver cannot silently drop or reorder one.
+func TestDriverRegistersExactSuite(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-analyzers"}, &out, &errb); code != 0 {
+		t.Fatalf("slclint -analyzers: exit %d, stderr %q", code, errb.String())
+	}
+	got := strings.Fields(out.String())
+	want := analysis.All()
+	if len(got) != len(want) {
+		t.Fatalf("driver lists %d analyzers %v; internal/analysis exports %d", len(got), got, len(want))
+	}
+	seen := make(map[string]bool)
+	for i, a := range want {
+		if got[i] != a.Name {
+			t.Errorf("analyzer %d: driver lists %q, suite exports %q", i, got[i], a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+}
+
+// TestRepoIsLintClean is the in-tree form of the CI lint gate: the module at
+// HEAD must produce zero active findings (annotated exceptions are fine).
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lints the whole module via go list -export")
+	}
+	findings, suppressed, err := Lint("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+	for _, d := range findings {
+		t.Errorf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+	}
+	// Every suppression must carry its reason into the machine-readable form.
+	for _, d := range suppressed {
+		if !d.Allowed || d.Reason == "" {
+			t.Errorf("%s:%d: suppressed diagnostic without allow reason", d.File, d.Line)
+		}
+	}
+}
+
+// TestJSONDiagShape pins the -json wire format consumed by sweep tooling.
+func TestJSONDiagShape(t *testing.T) {
+	b, err := json.Marshal(jsonDiag{File: "f.go", Line: 3, Col: 7, Analyzer: "determinism", Message: "m", Allowed: true, Reason: "r"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"file":"f.go","line":3,"col":7,"analyzer":"determinism","message":"m","allowed":true,"reason":"r"}`
+	if string(b) != want {
+		t.Errorf("jsonDiag wire form drifted:\ngot  %s\nwant %s", b, want)
+	}
+}

@@ -1,0 +1,306 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AllocFree turns the AllocsPerRun==0 pins (TestSyncSerialAllocFree,
+// TestDecodeWaysAllocFree, TestSimSteadyStateAllocFree) from an
+// after-the-fact measurement into an at-the-keyboard diagnostic. A function
+// opts in through its doc comment:
+//
+//	//slclint:allocfree
+//	func (t *Table) DecodeWays(...) ... { ... }
+//
+// Inside an annotated function the analyzer flags the constructs that heap-
+// allocate on the steady-state path:
+//
+//   - make, new, and map/chan composite literals (always allocate);
+//   - &T{...} and slice literals (escape candidates — annotate an allow if
+//     escape analysis provably keeps one on the stack);
+//   - append to a slice declared inside the function (growing a fresh
+//     backing array every call; appending to a reused parameter, receiver
+//     field or outer buffer amortises to zero);
+//   - fmt.* calls and non-constant string concatenation;
+//   - function literals that capture variables (the closure context
+//     allocates); non-capturing literals are static and stay clean, and
+//     their bodies are checked;
+//   - interface boxing: a non-pointer concrete value converted to an
+//     interface at an assignment, return, or call argument (pointer and
+//     interface values re-box for free).
+//
+// Cold paths inside hot functions (error returns, panics on programming
+// errors) carry //slclint:allow allocfree annotations — the runtime pin
+// never executes them, and the annotation keeps them visible.
+var AllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc:  "flag heap-allocating constructs inside functions annotated //slclint:allocfree",
+	Run:  runAllocFree,
+}
+
+const allocFreeMarker = "//slclint:allocfree"
+
+func runAllocFree(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasMarker(fd.Doc, allocFreeMarker) {
+				continue
+			}
+			c := &allocChecker{pass: pass, fn: fd}
+			c.block(fd.Body)
+		}
+	}
+	return nil
+}
+
+// allocChecker walks one annotated function.
+type allocChecker struct {
+	pass *Pass
+	fn   *ast.FuncDecl
+}
+
+func (c *allocChecker) block(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if c.captures(n) {
+				c.pass.Reportf(n.Pos(), "closure captures variables and allocates its context on the heap in %s", c.fn.Name.Name)
+				return false // creation already flagged; body runs elsewhere
+			}
+			return true // non-capturing literal is static; check its body
+		case *ast.CallExpr:
+			c.call(n)
+		case *ast.CompositeLit:
+			c.composite(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, isLit := unparen(n.X).(*ast.CompositeLit); isLit {
+					c.pass.Reportf(n.Pos(), "&composite literal is an escape candidate in allocfree %s; reuse a pooled or stack value", c.fn.Name.Name)
+				}
+			}
+		case *ast.BinaryExpr:
+			c.concat(n)
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i < len(n.Rhs) {
+					c.boxing(lhs, n.Rhs[i])
+				}
+			}
+		case *ast.ReturnStmt:
+			c.returns(n)
+		}
+		return true
+	})
+}
+
+// call flags make/new, fmt calls, fresh-slice appends, and boxing at call
+// arguments.
+func (c *allocChecker) call(call *ast.CallExpr) {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, isBuiltin := c.pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+			switch fun.Name {
+			case "make":
+				c.pass.Reportf(call.Pos(), "make allocates in allocfree %s; hoist the buffer into a pooled or reused field", c.fn.Name.Name)
+			case "new":
+				c.pass.Reportf(call.Pos(), "new allocates in allocfree %s", c.fn.Name.Name)
+			case "append":
+				c.append_(call)
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if obj := c.pass.TypesInfo.Uses[fun.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			c.pass.Reportf(call.Pos(), "fmt.%s allocates in allocfree %s", obj.Name(), c.fn.Name.Name)
+			return
+		}
+	}
+	c.callBoxing(call)
+}
+
+// append_ flags appends whose destination is a slice declared inside the
+// function — every call grows a fresh backing array, where the alloc-free
+// idiom appends into a reused buffer owned by the receiver or caller.
+func (c *allocChecker) append_(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	base := baseIdent(unparen(call.Args[0]))
+	if base == nil {
+		return // selector/index roots reach state that outlives the call
+	}
+	obj := c.pass.TypesInfo.ObjectOf(base)
+	if obj == nil {
+		return
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return
+	}
+	if c.isParamOrReceiver(v) {
+		return
+	}
+	if v.Pos() >= c.fn.Pos() && v.Pos() <= c.fn.End() {
+		c.pass.Reportf(call.Pos(), "append to %s, a slice declared in allocfree %s, grows a fresh backing array every call; append into a reused buffer", base.Name, c.fn.Name.Name)
+	}
+}
+
+// isParamOrReceiver reports whether v is one of the function's parameters,
+// results, or receiver — storage the caller owns and can reuse.
+func (c *allocChecker) isParamOrReceiver(v *types.Var) bool {
+	ft := c.fn.Type
+	within := func(fl *ast.FieldList) bool {
+		return fl != nil && v.Pos() >= fl.Pos() && v.Pos() <= fl.End()
+	}
+	return within(ft.Params) || within(ft.Results) || within(c.fn.Recv)
+}
+
+// concat flags non-constant string concatenation.
+func (c *allocChecker) concat(b *ast.BinaryExpr) {
+	if b.Op != token.ADD {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[b]
+	if !ok || tv.Type == nil || tv.Value != nil { // constant-folded concat is free
+		return
+	}
+	if bt, ok := tv.Type.Underlying().(*types.Basic); ok && bt.Info()&types.IsString != 0 {
+		c.pass.Reportf(b.Pos(), "string concatenation allocates in allocfree %s", c.fn.Name.Name)
+	}
+}
+
+// composite flags literals that always heap-allocate.
+func (c *allocChecker) composite(lit *ast.CompositeLit) {
+	tv, ok := c.pass.TypesInfo.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		c.pass.Reportf(lit.Pos(), "map literal allocates in allocfree %s", c.fn.Name.Name)
+	case *types.Slice:
+		c.pass.Reportf(lit.Pos(), "slice literal allocates its backing array in allocfree %s", c.fn.Name.Name)
+	case *types.Chan:
+		c.pass.Reportf(lit.Pos(), "channel literal allocates in allocfree %s", c.fn.Name.Name)
+	}
+}
+
+// boxing flags a concrete non-pointer value assigned into an interface.
+func (c *allocChecker) boxing(lhs, rhs ast.Expr) {
+	lt, ok := c.pass.TypesInfo.Types[lhs]
+	if !ok || lt.Type == nil {
+		// := defines: look up the object type
+		if id, isID := lhs.(*ast.Ident); isID {
+			if obj := c.pass.TypesInfo.ObjectOf(id); obj != nil {
+				c.boxingTo(obj.Type(), rhs)
+			}
+		}
+		return
+	}
+	c.boxingTo(lt.Type, rhs)
+}
+
+func (c *allocChecker) returns(ret *ast.ReturnStmt) {
+	sig, ok := c.pass.TypesInfo.Defs[c.fn.Name].Type().(*types.Signature)
+	if !ok || sig.Results() == nil || len(ret.Results) != sig.Results().Len() {
+		return
+	}
+	for i, r := range ret.Results {
+		c.boxingTo(sig.Results().At(i).Type(), r)
+	}
+}
+
+// callBoxing flags concrete non-pointer arguments passed to interface
+// parameters (including variadic ...any).
+func (c *allocChecker) callBoxing(call *ast.CallExpr) {
+	tv, ok := c.pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		c.boxingTo(pt, arg)
+	}
+}
+
+// boxingTo reports rhs if converting it to target boxes a non-pointer
+// concrete value. Pointers, maps, channels, funcs and existing interfaces
+// fit the interface word without allocating; nil never allocates; untyped
+// constants that reach here are boxed too (they materialise at runtime) but
+// small-integer runtime caching makes them noise, so only non-constant
+// values are flagged.
+func (c *allocChecker) boxingTo(target types.Type, rhs ast.Expr) {
+	if target == nil {
+		return
+	}
+	if _, isIface := target.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[rhs]
+	if !ok || tv.Type == nil || tv.IsNil() || tv.Value != nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return
+	}
+	c.pass.Reportf(rhs.Pos(), "%s value boxed into %s allocates in allocfree %s",
+		types.TypeString(tv.Type, types.RelativeTo(c.pass.Pkg)),
+		types.TypeString(target, types.RelativeTo(c.pass.Pkg)), c.fn.Name.Name)
+}
+
+// captures reports whether the function literal references any identifier
+// declared outside it (in the enclosing function).
+func (c *allocChecker) captures(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return !found
+		}
+		obj := c.pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return !found
+		}
+		v, isVar := obj.(*types.Var)
+		if !isVar || isPkgLevelVar(v) {
+			return !found
+		}
+		// declared in the enclosing function but outside the literal
+		if v.Pos() >= c.fn.Pos() && v.Pos() < lit.Pos() {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

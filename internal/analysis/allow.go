@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix is the escape-hatch marker: a comment of the form
+//
+//	//slclint:allow <analyzer> <reason...>
+//
+// suppresses that analyzer's diagnostics on the comment's own line and on
+// the line immediately below it (so it can ride at the end of the offending
+// line or stand alone above it). The reason is mandatory and is carried into
+// -json output, so deliberate exceptions stay auditable.
+const allowPrefix = "//slclint:allow"
+
+// Allow is one parsed escape-hatch comment.
+type Allow struct {
+	Analyzer string
+	Reason   string
+	Line     int  // line the comment sits on
+	Used     bool // set when it suppresses at least one diagnostic
+}
+
+// AllowSet indexes the allow comments of one file set, plus the diagnostics
+// produced while parsing them (missing analyzer name or reason).
+type AllowSet struct {
+	fset      *token.FileSet
+	byLine    map[allowLineKey][]*Allow
+	Malformed []Diagnostic
+}
+
+type allowLineKey struct {
+	file string
+	line int
+}
+
+// CollectAllows scans the comments of files for allow markers. Analyzer
+// names are validated against known (the full suite), so a typo in the
+// analyzer field cannot silently disable nothing.
+func CollectAllows(fset *token.FileSet, files []*ast.File, known []*Analyzer) *AllowSet {
+	s := &AllowSet{fset: fset, byLine: make(map[allowLineKey][]*Allow)}
+	names := make(map[string]bool, len(known))
+	for _, a := range known {
+		names[a.Name] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				switch {
+				case name == "":
+					s.Malformed = append(s.Malformed, Diagnostic{
+						Pos: c.Pos(), Analyzer: "slclint",
+						Message: "slclint:allow needs an analyzer name and a reason",
+					})
+					continue
+				case !names[name]:
+					s.Malformed = append(s.Malformed, Diagnostic{
+						Pos: c.Pos(), Analyzer: "slclint",
+						Message: "slclint:allow names unknown analyzer " + quote(name),
+					})
+					continue
+				case reason == "":
+					s.Malformed = append(s.Malformed, Diagnostic{
+						Pos: c.Pos(), Analyzer: "slclint",
+						Message: "slclint:allow " + name + " needs a reason",
+					})
+					continue
+				}
+				a := &Allow{Analyzer: name, Reason: reason, Line: pos.Line}
+				s.byLine[allowLineKey{pos.Filename, pos.Line}] = append(s.byLine[allowLineKey{pos.Filename, pos.Line}], a)
+			}
+		}
+	}
+	return s
+}
+
+func quote(s string) string { return "\"" + s + "\"" }
+
+// Suppresses reports whether d is covered by an allow comment on its line or
+// the line above, marking the matching allow used.
+func (s *AllowSet) Suppresses(d Diagnostic) (*Allow, bool) {
+	if s == nil {
+		return nil, false
+	}
+	pos := s.fset.Position(d.Pos)
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, a := range s.byLine[allowLineKey{pos.Filename, line}] {
+			if a.Analyzer == d.Analyzer {
+				a.Used = true
+				return a, true
+			}
+		}
+	}
+	return nil, false
+}

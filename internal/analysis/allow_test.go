@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestCollectAllowsMalformed(t *testing.T) {
+	cases := []struct {
+		comment string
+		wantMsg string
+	}{
+		{"//slclint:allow", "needs an analyzer name and a reason"},
+		{"//slclint:allow determinism", "needs a reason"},
+		{"//slclint:allow detreminism typo in the analyzer name", `unknown analyzer "detreminism"`},
+	}
+	for _, c := range cases {
+		fset, f := parseOne(t, "package p\n\nvar x = 1 "+c.comment+"\n")
+		s := CollectAllows(fset, []*ast.File{f}, All())
+		if len(s.Malformed) != 1 {
+			t.Errorf("%q: got %d malformed diagnostics, want 1", c.comment, len(s.Malformed))
+			continue
+		}
+		if got := s.Malformed[0].Message; !strings.Contains(got, c.wantMsg) {
+			t.Errorf("%q: diagnostic %q does not mention %q", c.comment, got, c.wantMsg)
+		}
+	}
+}
+
+func TestAllowSuppressesOwnAndNextLine(t *testing.T) {
+	fset, f := parseOne(t, `package p
+
+//slclint:allow determinism reason above
+var a = 1
+var b = 2 //slclint:allow allocfree reason inline
+var c = 3
+`)
+	s := CollectAllows(fset, []*ast.File{f}, All())
+	if len(s.Malformed) != 0 {
+		t.Fatalf("unexpected malformed: %v", s.Malformed)
+	}
+	posOnLine := func(line int) token.Pos {
+		return fset.File(f.Pos()).LineStart(line)
+	}
+
+	// The standalone comment on line 3 covers lines 3 and 4 for determinism.
+	if _, ok := s.Suppresses(Diagnostic{Pos: posOnLine(4), Analyzer: "determinism"}); !ok {
+		t.Error("allow above did not suppress the next line")
+	}
+	// Wrong analyzer name never matches.
+	if _, ok := s.Suppresses(Diagnostic{Pos: posOnLine(4), Analyzer: "poolsafety"}); ok {
+		t.Error("allow suppressed a different analyzer")
+	}
+	// The inline comment on line 5 covers line 5 for allocfree.
+	if a, ok := s.Suppresses(Diagnostic{Pos: posOnLine(5), Analyzer: "allocfree"}); !ok {
+		t.Error("inline allow did not suppress its own line")
+	} else if a.Reason != "reason inline" {
+		t.Errorf("allow reason = %q, want %q", a.Reason, "reason inline")
+	}
+	// An allow spans its own line and the one below, so line 6 is still in
+	// allocfree's shadow — but never for another analyzer, and line 6's
+	// determinism shadow from line 3 ended at line 4.
+	if _, ok := s.Suppresses(Diagnostic{Pos: posOnLine(6), Analyzer: "determinism"}); ok {
+		t.Error("allow reached two lines past its comment")
+	}
+}

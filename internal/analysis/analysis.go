@@ -1,0 +1,148 @@
+// Package analysis is the repository's static-analysis suite: a small,
+// dependency-free framework in the shape of golang.org/x/tools/go/analysis
+// plus the four analyzers that turn the repo's runtime-checked invariants
+// (bitwise-deterministic replay, lane-owned event pools, pinned
+// AllocsPerRun==0 hot paths, self-registering fuzz-covered codecs) into
+// compile-time diagnostics.
+//
+// The framework mirrors the x/tools API surface this module would use
+// (Analyzer, Pass, Diagnostic, object/package facts) so the analyzers could
+// be ported to a real multichecker nearly verbatim; it is hand-rolled here
+// because the module is intentionally dependency-free and the build
+// environment is offline. Two deliberate deviations:
+//
+//   - Facts are keyed by (package path, object name) strings instead of
+//     types.Object identity, so a package type-checked from source and the
+//     same package imported from export data agree about its facts.
+//   - An Analyzer may declare a Finalize hook that runs once after every
+//     package has been analyzed. The x/tools fact mechanism only propagates
+//     along import edges, which cannot express "every codec package is
+//     imported by compress/all" — the violation is precisely a package with
+//     no inbound edge. Finalize sees the whole program and closes that gap.
+//
+// Diagnostics are suppressed by an explicit escape hatch written on (or
+// immediately above) the offending line:
+//
+//	//slclint:allow <analyzer> <reason>
+//
+// The reason is mandatory; an allow comment without one is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow comments.
+	Name string
+
+	// Doc is the one-paragraph description printed by cmd/slclint -help.
+	Doc string
+
+	// Match reports whether the analyzer wants to run on the package with
+	// the given import path. A nil Match runs everywhere. The driver and the
+	// analysistest harness both honour it, so testdata packages are given
+	// synthetic import paths inside the analyzer's scope.
+	Match func(pkgPath string) bool
+
+	// Run analyzes one package.
+	Run func(*Pass) error
+
+	// Finalize, if non-nil, runs once after every package in the program has
+	// been analyzed, with the accumulated fact store. It implements the
+	// whole-program checks that per-package fact propagation cannot express.
+	Finalize func(prog *Program, report func(Diagnostic))
+}
+
+// Diagnostic is one finding, positioned for file:line:col rendering.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset  *token.FileSet
+	Files []*ast.File // parsed and type-checked non-test sources
+
+	// TestFiles are the package's test sources (both the in-package and the
+	// external _test package), parsed but NOT type-checked. Analyzers may
+	// inspect them syntactically only; TypesInfo holds nothing for them.
+	TestFiles []*ast.File
+
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers a diagnostic. The driver applies allow-comment
+	// suppression centrally, so analyzers always report unconditionally.
+	Report func(Diagnostic)
+
+	facts *FactStore
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// PackageInfo is one loaded, type-checked module package plus its parsed
+// test files.
+type PackageInfo struct {
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	TestFiles []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// Program is the whole analyzed package set, handed to Finalize hooks.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*PackageInfo // in dependency order, dependencies first
+	Facts    *FactStore
+}
+
+// Package returns the loaded package with the given import path, or nil.
+func (prog *Program) Package(path string) *PackageInfo {
+	for _, p := range prog.Packages {
+		if p.Path == path {
+			return p
+		}
+	}
+	return nil
+}
+
+// NewPass builds a's view of p, delivering diagnostics to report and facts to
+// the program-wide store.
+func (prog *Program) NewPass(a *Analyzer, p *PackageInfo, report func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      prog.Fset,
+		Files:     p.Files,
+		TestFiles: p.TestFiles,
+		Pkg:       p.Pkg,
+		TypesInfo: p.TypesInfo,
+		Report:    report,
+		facts:     prog.Facts,
+	}
+}
+
+// All returns the full analyzer suite in stable order. cmd/slclint registers
+// exactly this list (a guard test pins it), and the analysistest suites cover
+// each member.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		PoolSafety,
+		AllocFree,
+		Registry,
+	}
+}

@@ -1,0 +1,182 @@
+// Package load turns package patterns into a type-checked analysis.Program
+// without golang.org/x/tools: package metadata comes from
+// `go list -export -deps -json`, dependencies are imported from the compiler
+// export data the build cache already holds, and only the module's own
+// packages are parsed and type-checked from source. Test files of module
+// packages are parsed (not type-checked) so analyzers can read syntax-level
+// facts such as the fuzz family assignment.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath   string
+	Dir          string
+	Export       string
+	Standard     bool
+	Module       *struct{ Path string }
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	Error        *struct{ Err string }
+}
+
+// Load lists patterns (plus their full dependency closure) and type-checks
+// every module package from source, in dependency order. Std and external
+// dependencies are imported from export data and are not analyzed.
+func Load(dir string, patterns ...string) (*analysis.Program, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	var pkgs []*listPackage
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		pkgs = append(pkgs, lp)
+	}
+
+	fset := token.NewFileSet()
+	// One shared gc importer: it caches every imported package, so all
+	// source-checked packages see identical dependency objects.
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	prog := &analysis.Program{Fset: fset, Facts: analysis.NewFactStore()}
+	for _, lp := range pkgs { // -deps emits dependencies before dependents
+		if lp.Standard || lp.Module == nil {
+			continue
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("load: %s uses cgo, unsupported", lp.ImportPath)
+		}
+		info, err := Check(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range append(append([]string{}, lp.TestGoFiles...), lp.XTestGoFiles...) {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("load: %s: %v", lp.ImportPath, err)
+			}
+			info.TestFiles = append(info.TestFiles, f)
+		}
+		prog.Packages = append(prog.Packages, info)
+	}
+	return prog, nil
+}
+
+// Check parses and type-checks one package's files with the given importer.
+// It is exported for the analysistest harness, which type-checks testdata
+// packages under synthetic import paths against the real module's export
+// data.
+func Check(fset *token.FileSet, imp types.Importer, importPath, dir string, fileNames []string) (*analysis.PackageInfo, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %s: %v", importPath, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", importPath, err)
+	}
+	return &analysis.PackageInfo{
+		Path:      importPath,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// Exports lists export-data files for patterns' dependency closure — the
+// importer backing for harnesses that type-check synthetic packages.
+func Exports(dir string, patterns ...string) (map[string]string, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	return exports, nil
+}
+
+// Importer returns a gc export-data importer over the given path→file map.
+func Importer(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PoolSafety is the static twin of the eventsdebug runtime poison checks:
+// pooled records (event-pool slots in internal/gpu/events, DRAM arena
+// request slots in internal/gpu/dram) are recycled the moment their lane
+// releases them, so a pointer into a pool must never outlive the event that
+// borrowed it. A type opts in by marking its declaration:
+//
+//	//slclint:pooled
+//	type request struct { ... }
+//
+// The mark travels as an object fact, so any package that can even name the
+// type (or a pointer to it) is checked. A pointer to a pooled type may be
+// passed down a call (borrowed for the current event) but must not be stored
+// anywhere that outlives it: struct fields, package variables, map or slice
+// elements, channels, composite literals, or function results.
+var PoolSafety = &Analyzer{
+	Name: "poolsafety",
+	Doc:  "flag pooled event/arena record pointers escaping their owning lane (stores into fields, globals, maps, slices, channels, or returns)",
+	Run:  runPoolSafety,
+}
+
+// PooledTypeFact marks a named type whose values live in a recycled pool
+// arena.
+type PooledTypeFact struct{ Marked bool }
+
+// AFact implements Fact.
+func (*PooledTypeFact) AFact() {}
+
+const pooledMarker = "//slclint:pooled"
+
+func runPoolSafety(pass *Pass) error {
+	exportPooledMarks(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkPooledAssign(pass, n)
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					if ptr, name := pooledPtr(pass, r); ptr {
+						pass.Reportf(r.Pos(), "returning pooled %s pointer lets it outlive its event; return an index or copy the record", name)
+					}
+				}
+			case *ast.SendStmt:
+				if ptr, name := pooledPtr(pass, n.Value); ptr {
+					pass.Reportf(n.Value.Pos(), "sending pooled %s pointer across a channel escapes its owning lane", name)
+				}
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					v := el
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if ptr, name := pooledPtr(pass, v); ptr {
+						pass.Reportf(v.Pos(), "storing pooled %s pointer in a composite literal escapes it; store an index or copy the record", name)
+					}
+				}
+			case *ast.GoStmt:
+				for _, arg := range n.Call.Args {
+					if ptr, name := pooledPtr(pass, arg); ptr {
+						pass.Reportf(arg.Pos(), "passing pooled %s pointer to a goroutine escapes its owning lane", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// exportPooledMarks records an object fact for every type declaration
+// carrying the pooled marker.
+func exportPooledMarks(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !hasMarker(gd.Doc, pooledMarker) && !hasMarker(ts.Doc, pooledMarker) && !hasMarker(ts.Comment, pooledMarker) {
+					continue
+				}
+				if obj := pass.TypesInfo.Defs[ts.Name]; obj != nil {
+					pass.ExportObjectFact(obj, &PooledTypeFact{Marked: true})
+				}
+			}
+		}
+	}
+}
+
+func hasMarker(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if c.Text == marker || strings.HasPrefix(c.Text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkPooledAssign flags assignments whose RHS is a pooled pointer and
+// whose LHS outlives the borrowing event: struct fields, package variables,
+// and map/slice elements. Writing to a plain local (r := &pool[idx]) is the
+// intended borrowing idiom and stays clean.
+func checkPooledAssign(pass *Pass, s *ast.AssignStmt) {
+	for i, lhs := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break // single-RHS multi-assign (function call): results checked at return sites
+		}
+		ptr, name := pooledPtr(pass, s.Rhs[i])
+		if !ptr {
+			continue
+		}
+		switch l := lhs.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[l]; ok && sel.Kind() == types.FieldVal {
+				pass.Reportf(s.Pos(), "storing pooled %s pointer in struct field %s outlives the event that borrowed it; store an index or copy the record", name, l.Sel.Name)
+			} else if obj := pass.TypesInfo.Uses[l.Sel]; obj != nil && isPkgLevelVar(obj) {
+				pass.Reportf(s.Pos(), "storing pooled %s pointer in package variable %s escapes its owning lane", name, l.Sel.Name)
+			}
+		case *ast.IndexExpr:
+			pass.Reportf(s.Pos(), "storing pooled %s pointer in a slice/map element outlives the event that borrowed it; store an index or copy the record", name)
+		case *ast.Ident:
+			if obj := pass.TypesInfo.ObjectOf(l); obj != nil && isPkgLevelVar(obj) {
+				pass.Reportf(s.Pos(), "storing pooled %s pointer in package variable %s escapes its owning lane", name, l.Name)
+			}
+		}
+	}
+}
+
+func isPkgLevelVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// pooledPtr reports whether e's static type is a pointer to a marked pooled
+// type, and the type's short name.
+func pooledPtr(pass *Pass, e ast.Expr) (bool, string) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false, ""
+	}
+	ptr, ok := tv.Type.Underlying().(*types.Pointer)
+	if !ok {
+		return false, ""
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false, ""
+	}
+	obj := named.Obj()
+	var fact PooledTypeFact
+	if !pass.ImportObjectFact(obj, &fact) || !fact.Marked {
+		return false, ""
+	}
+	if obj.Pkg() != nil && obj.Pkg() != pass.Pkg {
+		return true, obj.Pkg().Name() + "." + obj.Name()
+	}
+	return true, obj.Name()
+}

@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// registryPkg is the registry's import path; codec family packages live
+// directly beneath it.
+const registryPkg = "repro/internal/compress"
+
+// registryAllPkg is the aggregator that imports every family for its
+// Register side effect.
+const registryAllPkg = registryPkg + "/all"
+
+// Registry enforces the codec-registry architecture: every codec package
+// under internal/compress/<family> registers itself from an init function,
+// every registering package is imported (blank) by compress/all, and every
+// statically-known registered codec name is assigned to a fuzz family in the
+// compress package's fuzz suite. The first two walk the import graph through
+// package facts; the last — and the "family package nobody imports" case,
+// which has no inbound fact edge at all — run in the Finalize hook over the
+// whole program. It is the static twin of TestFuzzFamiliesCoverRegistry and
+// of the Register-at-init panic: those fire when the right binary runs, this
+// fires on every build of any package.
+var Registry = &Analyzer{
+	Name:     "registry",
+	Doc:      "enforce codec self-registration from init, compress/all imports, and fuzz family coverage of registered names",
+	Run:      runRegistry,
+	Finalize: finalizeRegistry,
+}
+
+// RegistersFact records that a package calls compress.Register, with the
+// statically-known codec names (constant first arguments). Dynamic marks
+// registration loops whose names are computed (internal/slc registers its
+// three variants from a loop), which static fuzz coverage cannot see.
+type RegistersFact struct {
+	Names    []string
+	Dynamic  bool
+	FromInit bool
+}
+
+// AFact implements Fact.
+func (*RegistersFact) AFact() {}
+
+// FuzzFamiliesFact records the codec names assigned to fuzz families in a
+// package's test files (the fuzzFamilies map in fuzz_test.go).
+type FuzzFamiliesFact struct{ Names []string }
+
+// AFact implements Fact.
+func (*FuzzFamiliesFact) AFact() {}
+
+func runRegistry(pass *Pass) error {
+	collectRegisterCalls(pass)
+	collectFuzzFamilies(pass)
+
+	path := pass.Pkg.Path()
+	if fam, ok := familyOf(path); ok {
+		var fact RegistersFact
+		if !pass.ImportPackageFact(path, &fact) {
+			pass.Reportf(pass.Files[0].Package, "codec package %s never calls compress.Register; every internal/compress family must self-register from init", fam)
+		} else if !fact.FromInit {
+			pass.Reportf(pass.Files[0].Package, "codec package %s calls compress.Register outside an init function; registration must happen at program start", fam)
+		}
+	}
+	if path == registryAllPkg {
+		checkAllImports(pass)
+	}
+	return nil
+}
+
+// familyOf extracts the family element of an internal/compress subpackage
+// path ("repro/internal/compress/bdi" → "bdi"); the aggregator package is
+// not a family.
+func familyOf(path string) (string, bool) {
+	rest, ok := strings.CutPrefix(path, registryPkg+"/")
+	if !ok || rest == "" || strings.Contains(rest, "/") || rest == "all" {
+		return "", false
+	}
+	return rest, true
+}
+
+// collectRegisterCalls exports a RegistersFact if the package calls
+// compress.Register (or is the compress package calling its own Register).
+func collectRegisterCalls(pass *Pass) {
+	fact := RegistersFact{}
+	found := false
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inInit := fd.Recv == nil && fd.Name.Name == "init"
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !isRegisterCall(pass, call) {
+					return true
+				}
+				found = true
+				fact.FromInit = fact.FromInit || inInit
+				if len(call.Args) > 0 {
+					if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+						fact.Names = append(fact.Names, constant.StringVal(tv.Value))
+					} else {
+						fact.Dynamic = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if found {
+		pass.ExportPackageFact(&fact)
+	}
+}
+
+// isRegisterCall matches compress.Register(...) — called from a family
+// package — and the bare Register(...) inside the compress package itself.
+func isRegisterCall(pass *Pass, call *ast.CallExpr) bool {
+	var obj types.Object
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	default:
+		return false
+	}
+	return obj != nil && obj.Name() == "Register" && obj.Pkg() != nil && obj.Pkg().Path() == registryPkg
+}
+
+// collectFuzzFamilies scans the package's (syntax-only) test files for the
+// fuzz family assignment map and exports the covered codec names.
+func collectFuzzFamilies(pass *Pass) {
+	var names []string
+	for _, file := range pass.TestFiles {
+		ast.Inspect(file, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for i, id := range vs.Names {
+				if id.Name != "fuzzFamilies" || i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				// Map keys are family names; the codec names are the strings
+				// inside each value slice.
+				for _, el := range lit.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					ast.Inspect(kv.Value, func(m ast.Node) bool {
+						if bl, ok := m.(*ast.BasicLit); ok && len(bl.Value) >= 2 && bl.Value[0] == '"' {
+							names = append(names, strings.Trim(bl.Value, `"`))
+						}
+						return true
+					})
+				}
+			}
+			return true
+		})
+	}
+	if len(names) > 0 {
+		pass.ExportPackageFact(&FuzzFamiliesFact{Names: names})
+	}
+}
+
+// checkAllImports verifies every family import of compress/all actually
+// registers; the converse (a family missing from all) needs the whole
+// program and runs in Finalize.
+func checkAllImports(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if _, ok := familyOf(path); !ok {
+				continue
+			}
+			var fact RegistersFact
+			if !pass.ImportPackageFact(path, &fact) {
+				pass.Reportf(imp.Pos(), "compress/all imports %s, which never calls compress.Register; the blank import does nothing", path)
+			}
+		}
+	}
+}
+
+// finalizeRegistry runs the whole-program closures: families absent from
+// compress/all's import set, and registered names absent from the fuzz
+// family assignment.
+func finalizeRegistry(prog *Program, report func(Diagnostic)) {
+	allPkg := prog.Package(registryAllPkg)
+
+	// Which families does compress/all blank-import?
+	imported := make(map[string]bool)
+	if allPkg != nil {
+		for _, file := range allPkg.Files {
+			for _, imp := range file.Imports {
+				imported[strings.Trim(imp.Path.Value, `"`)] = true
+			}
+		}
+	}
+
+	// Fuzz coverage lives in the registry package's test files.
+	var fuzz FuzzFamiliesFact
+	fuzzKnown := prog.Facts.PackageFact(registryPkg, &fuzz)
+	covered := make(map[string]bool, len(fuzz.Names))
+	for _, n := range fuzz.Names {
+		covered[n] = true
+	}
+
+	for _, p := range prog.Packages {
+		_, isFamily := familyOf(p.Path)
+		var reg RegistersFact
+		registers := prog.Facts.PackageFact(p.Path, &reg)
+		if isFamily && registers && allPkg != nil && !imported[p.Path] {
+			report(Diagnostic{
+				Pos: p.Files[0].Package, Analyzer: "registry",
+				Message: "codec package " + p.Path + " is not imported by compress/all; its Register never runs in programs built on the full set",
+			})
+		}
+		if registers && fuzzKnown {
+			for _, name := range reg.Names {
+				if !covered[name] {
+					report(Diagnostic{
+						Pos: p.Files[0].Package, Analyzer: "registry",
+						Message: "codec " + quote(name) + " is registered here but missing from the fuzzFamilies assignment in " + registryPkg + " fuzz_test.go",
+					})
+				}
+			}
+		}
+	}
+}

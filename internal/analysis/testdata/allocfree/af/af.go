@@ -1,0 +1,86 @@
+// Package af exercises the allocfree analyzer: annotated functions are
+// checked construct by construct, unannotated functions are ignored, and a
+// cold error path shows the allow escape hatch.
+package af
+
+import "fmt"
+
+type boxer interface{ box() }
+
+type val int
+
+func (val) box() {}
+
+func eat(vs ...boxer) {}
+
+type sink struct {
+	buf []int
+	out boxer
+}
+
+//slclint:allocfree
+func hot(s *sink, n int) {
+	b := make([]byte, n) // want `make allocates in allocfree hot`
+	_ = b
+	p := new(int) // want `new allocates in allocfree hot`
+	_ = p
+	var local []int
+	local = append(local, n) // want `append to local, a slice declared in allocfree hot`
+	s.buf = append(s.buf, n) // receiver-owned buffer amortises: clean
+	fmt.Println(n)           // want `fmt\.Println allocates in allocfree hot`
+	m := map[int]int{0: n}   // want `map literal allocates in allocfree hot`
+	_ = m
+	sl := []int{1, 2} // want `slice literal allocates its backing array in allocfree hot`
+	_ = sl
+	ptr := &sink{} // want `&composite literal is an escape candidate in allocfree hot`
+	_ = ptr
+}
+
+//slclint:allocfree
+func boxAssign(s *sink, v val) {
+	s.out = v // want `val value boxed into boxer allocates in allocfree boxAssign`
+	s.out = &v
+}
+
+//slclint:allocfree
+func boxReturn(v val) boxer {
+	return v // want `val value boxed into boxer allocates in allocfree boxReturn`
+}
+
+//slclint:allocfree
+func boxCall(v val) {
+	eat(v) // want `val value boxed into boxer allocates in allocfree boxCall`
+	vs := [1]boxer{}
+	eat(vs[:]...) // passing the slice through re-boxes nothing: clean
+}
+
+//slclint:allocfree
+func closures(n int) func() int {
+	f := func() int { return n } // want `closure captures variables and allocates its context`
+	g := func() int { return 42 }
+	_ = g
+	return f
+}
+
+//slclint:allocfree
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates in allocfree concat`
+}
+
+//slclint:allocfree
+func constConcat() string {
+	return "a" + "b" // constant-folded: clean
+}
+
+//slclint:allocfree
+func coldError(ok bool) error {
+	if !ok {
+		return fmt.Errorf("bad state") //slclint:allow allocfree cold error path, never hit steady-state
+	}
+	return nil
+}
+
+// cold is unannotated: the analyzer ignores it entirely.
+func cold(n int) []byte {
+	return make([]byte, n)
+}

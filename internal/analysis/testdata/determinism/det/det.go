@@ -1,0 +1,94 @@
+// Package det exercises the determinism analyzer: each flagged construct
+// appears next to its clean counterpart, plus one allow-suppressed case
+// showing the escape hatch.
+package det
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now is wall-clock time`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since is wall-clock time`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the process-global generator`
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // explicitly seeded: deterministic
+	return r.Intn(10)
+}
+
+func printMap(m map[string]int) {
+	fmt.Println(m) // want `fmt\.Println renders map map\[string\]int whole`
+}
+
+func printSorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m { //slclint:allow determinism keys are sorted before printing
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+func appendRange(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map m has an order-dependent body \(append to a slice that outlives the loop`
+		out = append(out, k)
+	}
+	return out
+}
+
+func countRange(m map[string]int) int {
+	n := 0
+	for _, v := range m { // integer accumulation commutes: clean
+		n += v
+	}
+	return n
+}
+
+func keyedWrites(src, dst map[string]int) {
+	for k, v := range src { // keyed map writes commute: clean
+		dst[k] = v + 1
+	}
+}
+
+func sendRange(m map[string]int, ch chan string) {
+	for k := range m { // want `range over map m has an order-dependent body \(channel send`
+		ch <- k
+	}
+}
+
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `non-integer accumulation into state that outlives the loop`
+		sum += v
+	}
+	return sum
+}
+
+func loopLocal(m map[string]int) {
+	for k, v := range m { // writes die with the iteration: clean
+		double := v * 2
+		double++
+		_ = double
+		_ = k
+	}
+}
+
+func effectCall(m map[string]int) {
+	for k := range m { // want `call for effect \(fmt\.Println\)`
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,53 @@
+// Package pooldef declares a pooled arena type and exercises every escape
+// class the poolsafety analyzer flags, next to the clean borrowing idiom.
+package pooldef
+
+// Rec is one pooled arena slot, recycled when its event completes.
+//
+//slclint:pooled
+type Rec struct {
+	N int
+}
+
+// Holder outlives any single event.
+type Holder struct {
+	R *Rec
+}
+
+var global *Rec
+
+func use(r *Rec) int { return r.N }
+
+func borrow(pool []Rec) int {
+	r := &pool[0] // plain local borrow: the intended idiom, clean
+	return use(r) // passing down a call borrows for the current event: clean
+}
+
+func storeField(pool []Rec, h *Holder) {
+	r := &pool[0]
+	h.R = r // want `storing pooled Rec pointer in struct field R`
+}
+
+func storeGlobal(pool []Rec) {
+	global = &pool[0] // want `storing pooled Rec pointer in package variable global`
+}
+
+func storeElem(pool []Rec, out []*Rec) {
+	out[0] = &pool[0] // want `storing pooled Rec pointer in a slice/map element`
+}
+
+func escapeReturn(pool []Rec) *Rec {
+	return &pool[0] // want `returning pooled Rec pointer lets it outlive its event`
+}
+
+func escapeSend(pool []Rec, ch chan *Rec) {
+	ch <- &pool[0] // want `sending pooled Rec pointer across a channel`
+}
+
+func escapeLiteral(pool []Rec) Holder {
+	return Holder{R: &pool[0]} // want `storing pooled Rec pointer in a composite literal`
+}
+
+func escapeGoroutine(pool []Rec) {
+	go func(r *Rec) { _ = r }(&pool[0]) // want `passing pooled Rec pointer to a goroutine`
+}

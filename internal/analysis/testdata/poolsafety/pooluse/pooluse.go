@@ -1,0 +1,18 @@
+// Package pooluse imports the pooled type from another package: the pooled
+// mark travels as an object fact, so escapes are flagged here too.
+package pooluse
+
+import "repro/pooltest/pooldef"
+
+type cache struct {
+	r *pooldef.Rec
+}
+
+func storeField(pool []pooldef.Rec, c *cache) {
+	c.r = &pool[0] // want `storing pooled pooldef\.Rec pointer in struct field r`
+}
+
+func borrow(pool []pooldef.Rec) int {
+	r := &pool[0] // borrowing is fine across packages too
+	return r.N
+}

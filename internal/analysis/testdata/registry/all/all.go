@@ -1,0 +1,11 @@
+// Package all blank-imports the registering families; orphan is deliberately
+// missing (flagged at its own package clause by the whole-program pass).
+package all
+
+import (
+	_ "repro/internal/compress/badfam" // want `compress/all imports repro/internal/compress/badfam, which never calls compress\.Register`
+	_ "repro/internal/compress/dynfam"
+	_ "repro/internal/compress/goodfam"
+	_ "repro/internal/compress/latefam"
+	_ "repro/internal/compress/unfuzzed"
+)

@@ -1,0 +1,6 @@
+package badfam // want `codec package badfam never calls compress\.Register`
+
+// A codec implementation that never registers itself.
+type codec struct{}
+
+func (codec) Name() string { return "bad" }

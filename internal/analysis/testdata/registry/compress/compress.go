@@ -1,0 +1,14 @@
+// Package compress is a miniature of the real codec registry, checked under
+// the real registry import path so the analyzer's cross-package plumbing is
+// exercised end to end.
+package compress
+
+// Codec is the registered unit.
+type Codec interface{ Name() string }
+
+var registry = map[string]func() Codec{}
+
+// Register installs a codec constructor under name.
+func Register(name string, build func() Codec) {
+	registry[name] = build
+}

@@ -1,0 +1,8 @@
+// The miniature fuzz family assignment, parsed syntax-only as a test file —
+// exactly how the analyzer reads the real fuzz_test.go.
+package compress_test
+
+var fuzzFamilies = map[string][]string{
+	"word":    {"good", "late"},
+	"entropy": {"orphan"},
+}

@@ -1,0 +1,15 @@
+// Package dynfam registers computed names from a loop, the way internal/slc
+// registers its tslc variants: static fuzz-coverage checking cannot see the
+// names, so the Dynamic escape keeps the package clean.
+package dynfam
+
+import compress "repro/internal/compress"
+
+var variants = []string{"dyn-a", "dyn-b"}
+
+func init() {
+	for _, v := range variants {
+		name := v
+		compress.Register(name, func() compress.Codec { return nil })
+	}
+}

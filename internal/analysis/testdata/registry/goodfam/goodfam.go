@@ -1,0 +1,13 @@
+// Package goodfam is a well-behaved family: registers from init, imported by
+// compress/all, fuzz-covered. No diagnostics.
+package goodfam
+
+import compress "repro/internal/compress"
+
+type codec struct{}
+
+func (codec) Name() string { return "good" }
+
+func init() {
+	compress.Register("good", func() compress.Codec { return codec{} })
+}

@@ -1,0 +1,12 @@
+package latefam // want `codec package latefam calls compress\.Register outside an init function`
+
+import compress "repro/internal/compress"
+
+type codec struct{}
+
+func (codec) Name() string { return "late" }
+
+// Install registers lazily — which means not at all unless somebody calls it.
+func Install() {
+	compress.Register("late", func() compress.Codec { return codec{} })
+}

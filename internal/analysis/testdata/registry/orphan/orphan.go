@@ -1,0 +1,11 @@
+package orphan // want `codec package repro/internal/compress/orphan is not imported by compress/all`
+
+import compress "repro/internal/compress"
+
+type codec struct{}
+
+func (codec) Name() string { return "orphan" }
+
+func init() {
+	compress.Register("orphan", func() compress.Codec { return codec{} })
+}

@@ -1,0 +1,11 @@
+package unfuzzed // want `codec "mystery" is registered here but missing from the fuzzFamilies assignment`
+
+import compress "repro/internal/compress"
+
+type codec struct{}
+
+func (codec) Name() string { return "mystery" }
+
+func init() {
+	compress.Register("mystery", func() compress.Codec { return codec{} })
+}

@@ -87,6 +87,8 @@ func (t *Table) EncodeWays(syms [compress.SymbolsPerBlock]uint16, skipStart, ski
 // check afterwards errors exactly when the bit-by-bit reference decoder
 // would (a symbol that consumed a fabricated bit pushes the position past
 // the end, and the position never moves back).
+//
+//slclint:allocfree
 func (t *Table) decodeSpan(r *compress.BitReader, lo, hi, skipStart, skipLen int, syms *[compress.SymbolsPerBlock]uint16) error {
 	maxLen := t.maxLen
 	lut := t.lut
@@ -97,7 +99,7 @@ func (t *Table) decodeSpan(r *compress.BitReader, lo, hi, skipStart, skipLen int
 		e := lut[r.PeekBits(maxLen)]
 		n := int(e & lutLenMask)
 		if n == 0 {
-			return fmt.Errorf("e2mc: symbol %d: invalid codeword", i)
+			return fmt.Errorf("e2mc: symbol %d: invalid codeword", i) //slclint:allow allocfree cold error path, never hit by the alloc pin
 		}
 		r.SkipBits(n)
 		if e&lutEscape != 0 {
@@ -108,7 +110,7 @@ func (t *Table) decodeSpan(r *compress.BitReader, lo, hi, skipStart, skipLen int
 		}
 	}
 	if r.Overrun() {
-		return fmt.Errorf("e2mc: symbols [%d, %d): bitstream exhausted", lo, hi)
+		return fmt.Errorf("e2mc: symbols [%d, %d): bitstream exhausted", lo, hi) //slclint:allow allocfree cold error path, never hit by the alloc pin
 	}
 	return nil
 }
@@ -117,6 +119,8 @@ func (t *Table) decodeSpan(r *compress.BitReader, lo, hi, skipStart, skipLen int
 // the reference decoder for tables too long-coded for a LUT). wayStart holds
 // the absolute byte offset of each way within payload; symbols inside the
 // skip span are left as zero for the caller (SLC) to fill by prediction.
+//
+//slclint:allocfree
 func (t *Table) DecodeWays(payload []byte, wayStart [PDWs]int, skipStart, skipLen int) ([compress.SymbolsPerBlock]uint16, error) {
 	if t.lut == nil {
 		return t.DecodeWaysRef(payload, wayStart, skipStart, skipLen)
@@ -125,12 +129,12 @@ func (t *Table) DecodeWays(payload []byte, wayStart [PDWs]int, skipStart, skipLe
 	var r compress.BitReader
 	for wy := 0; wy < PDWs; wy++ {
 		if wayStart[wy] < 0 || wayStart[wy] > len(payload) {
-			return syms, fmt.Errorf("e2mc: way %d starts at byte %d outside payload (%d bytes)", wy, wayStart[wy], len(payload))
+			return syms, fmt.Errorf("e2mc: way %d starts at byte %d outside payload (%d bytes)", wy, wayStart[wy], len(payload)) //slclint:allow allocfree cold error path, never hit by the alloc pin
 		}
 		r.Reset(payload[wayStart[wy]:])
 		lo, hi := waySpan(wy)
 		if err := t.decodeSpan(&r, lo, hi, skipStart, skipLen, &syms); err != nil {
-			return syms, fmt.Errorf("e2mc: way %d: %w", wy, err)
+			return syms, fmt.Errorf("e2mc: way %d: %w", wy, err) //slclint:allow allocfree cold error path, never hit by the alloc pin
 		}
 	}
 	return syms, nil

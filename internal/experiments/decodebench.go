@@ -122,13 +122,13 @@ func timeNsPerBlock(items []DecodeItem, fn func(*DecodeItem) error) (float64, er
 	var elapsed time.Duration
 	blocks := 0
 	for elapsed < window {
-		start := time.Now()
+		start := time.Now() //slclint:allow determinism wall-clock decode timing; decoded bytes are verified separately
 		for i := range items {
 			if err := fn(&items[i]); err != nil {
 				return 0, err
 			}
 		}
-		elapsed += time.Since(start)
+		elapsed += time.Since(start) //slclint:allow determinism wall-clock decode timing, not simulated state
 		blocks += len(items)
 	}
 	return float64(elapsed.Nanoseconds()) / float64(blocks), nil

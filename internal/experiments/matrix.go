@@ -69,7 +69,7 @@ func MatrixNames() []string {
 	matrices.RLock()
 	defer matrices.RUnlock()
 	names := make([]string, 0, len(matrices.m))
-	for name := range matrices.m {
+	for name := range matrices.m { //slclint:allow determinism collected names are sorted before return
 		names = append(names, name)
 	}
 	sort.Strings(names)

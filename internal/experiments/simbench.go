@@ -99,9 +99,9 @@ func MeasureSimBench(r *Runner, w workloads.Workload, workers int) (SimBench, er
 
 	var elapsed time.Duration
 	for elapsed < simBenchWindow {
-		start := time.Now()
+		start := time.Now() //slclint:allow determinism wall-clock throughput timing; replay output is compared bitwise below
 		got, rerr := s.Replay(tr)
-		elapsed += time.Since(start)
+		elapsed += time.Since(start) //slclint:allow determinism wall-clock throughput timing, not simulated state
 		if rerr != nil {
 			return b, fmt.Errorf("simbench %s: %w", name, rerr)
 		}

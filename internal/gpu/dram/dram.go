@@ -101,6 +101,8 @@ const nilIdx = int32(-1)
 // typed completion. The next/prev fields thread the request onto its row
 // list and bank list (doubly linked, unlinked eagerly when served) and the
 // arrival FIFO (singly linked, drained lazily from the head).
+//
+//slclint:pooled
 type request struct {
 	addr               uint64
 	row                uint64

@@ -114,6 +114,8 @@ type EventScheduler interface {
 
 // rec is one pooled event record: either a typed event or a closure. Exactly
 // one of ev/fn is meaningful (fn wins when non-nil).
+//
+//slclint:pooled
 type rec struct {
 	ev Event
 	fn func()
@@ -145,6 +147,8 @@ func entLess(a, b heapEnt) bool {
 // does not affect dispatch order: keys are unique (per-source sequence
 // numbers), so the pop order is the total (t, src, seq) order regardless of
 // arity.
+//
+//slclint:allocfree
 func heapPush(h []heapEnt, e heapEnt) []heapEnt {
 	h = append(h, e)
 	i := len(h) - 1
@@ -159,6 +163,7 @@ func heapPush(h []heapEnt, e heapEnt) []heapEnt {
 	return h
 }
 
+//slclint:allocfree
 func heapPop(h []heapEnt) (heapEnt, []heapEnt) {
 	top := h[0]
 	n := len(h) - 1
@@ -197,6 +202,7 @@ type pool struct {
 	free []int32
 }
 
+//slclint:allocfree
 func (p *pool) acquire() int32 {
 	if n := len(p.free); n > 0 {
 		idx := p.free[n-1]
@@ -211,6 +217,8 @@ func (p *pool) acquire() int32 {
 // release vacates a slot. The zero-value store also drops the closure
 // reference (or, under the eventsdebug build tag, writes a poison pattern
 // that acquire verifies) — a record must never be observed after release.
+//
+//slclint:allocfree
 func (p *pool) release(idx int32) {
 	p.recs[idx] = poisonRec
 	p.free = append(p.free, idx)
@@ -248,12 +256,15 @@ func (q *Queue) At(t float64, fn func()) {
 }
 
 // AtEvent schedules a typed event at time t (clamped to Now).
+//
+//slclint:allocfree
 func (q *Queue) AtEvent(t float64, ev Event) {
 	idx := q.pool.acquire()
 	q.pool.recs[idx] = rec{ev: ev}
 	q.push(t, idx)
 }
 
+//slclint:allocfree
 func (q *Queue) push(t float64, idx int32) {
 	if t < q.now {
 		t = q.now
@@ -263,6 +274,8 @@ func (q *Queue) push(t float64, idx int32) {
 }
 
 // Run drains the queue, advancing Now event by event.
+//
+//slclint:allocfree
 func (q *Queue) Run() {
 	for len(q.h) > 0 {
 		var ent heapEnt
@@ -278,7 +291,7 @@ func (q *Queue) Run() {
 		checkDispatch(&r)
 		h := q.handlers[r.ev.Kind]
 		if h == nil {
-			panic(fmt.Sprintf("events: no handler for kind %d (op %d)", r.ev.Kind, r.ev.Op))
+			panic(fmt.Sprintf("events: no handler for kind %d (op %d)", r.ev.Kind, r.ev.Op)) //slclint:allow allocfree cold panic on a wiring bug, unreachable in a correct model
 		}
 		h.HandleEvent(ent.t, r.ev)
 	}
@@ -345,12 +358,15 @@ func (l *Lane) At(t float64, fn func()) {
 
 // AtEvent schedules a typed event on this lane; times before Now are clamped
 // to Now. Same calling constraints as At.
+//
+//slclint:allocfree
 func (l *Lane) AtEvent(t float64, ev Event) {
 	idx := l.pool.acquire()
 	l.pool.recs[idx] = rec{ev: ev}
 	l.push(t, idx)
 }
 
+//slclint:allocfree
 func (l *Lane) push(t float64, idx int32) {
 	if t < l.now {
 		t = l.now
@@ -372,6 +388,8 @@ func (l *Lane) checkSend(to *Lane, t float64) {
 // deliver routes a keyed record to the target lane: buffered in the outbox
 // during a parallel window, pushed straight into the target's pool and heap
 // (safe: only one lane runs at a time) in serial mode.
+//
+//slclint:allocfree
 func (l *Lane) deliver(to *Lane, t float64, r rec) {
 	l.genSeq++
 	if l.eng.parallel {
@@ -398,6 +416,8 @@ func (l *Lane) Send(to *Lane, t float64, fn func()) {
 
 // SendEvent schedules a typed event on the target lane at time t, under the
 // same lookahead constraint as Send.
+//
+//slclint:allocfree
 func (l *Lane) SendEvent(to *Lane, t float64, ev Event) {
 	if to == l {
 		l.AtEvent(t, ev)
@@ -416,6 +436,8 @@ func (l *Lane) headTime() float64 {
 }
 
 // step pops and dispatches the lane's earliest event.
+//
+//slclint:allocfree
 func (l *Lane) step() {
 	var ent heapEnt
 	ent, l.h = heapPop(l.h)
@@ -430,7 +452,7 @@ func (l *Lane) step() {
 	checkDispatch(&r)
 	h := l.handlers[r.ev.Kind]
 	if h == nil {
-		panic(fmt.Sprintf("events: lane %d: no handler for kind %d (op %d)", l.id, r.ev.Kind, r.ev.Op))
+		panic(fmt.Sprintf("events: lane %d: no handler for kind %d (op %d)", l.id, r.ev.Kind, r.ev.Op)) //slclint:allow allocfree cold panic on a wiring bug, unreachable in a correct model
 	}
 	h.HandleEvent(ent.t, r.ev)
 }
@@ -438,6 +460,8 @@ func (l *Lane) step() {
 // runWindow executes the lane's events with time strictly below horizon.
 // Locally scheduled events that land inside the window are executed too;
 // cross-lane sends are buffered in the outbox for delivery at the barrier.
+//
+//slclint:allocfree
 func (l *Lane) runWindow(horizon float64) {
 	for len(l.h) > 0 && l.h[0].t < horizon {
 		l.step()

@@ -299,6 +299,8 @@ func (c *Codec) Compress(block []byte) compress.Encoded {
 // entropy coder (emit panics if the emitted size ever disagrees with the
 // decision), so reconstructing the truncated span from the original symbols
 // yields the same bytes as reconstructing it from the decoded ones.
+//
+//slclint:allocfree
 func (c *Codec) SyncBlock(block []byte) (int, bool) {
 	if err := compress.CheckBlock(block); err != nil {
 		panic(err)
