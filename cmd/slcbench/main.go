@@ -52,9 +52,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 
+	"repro/internal/cliio"
 	"repro/internal/compress"
 	"repro/internal/experiments"
 	"repro/internal/gpu/sim"
@@ -63,66 +63,109 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("slcbench: ")
-	var (
-		all       = flag.Bool("all", false, "regenerate every table and figure")
-		fig       = flag.Int("fig", 0, "regenerate one figure (1, 2, 7, 8, 9)")
-		table     = flag.Int("table", 0, "regenerate one table (1, 2, 3)")
-		ablations = flag.Bool("ablations", false, "run the ablation study")
-		matrix    = flag.String("matrix", "", "run a named cell subset of the evaluation matrix (see -list-matrix)")
-		listMat   = flag.Bool("list-matrix", false, "list registered matrix subsets and exit")
-		out       = flag.String("out", "", "write output to this file instead of stdout")
-		parallel  = flag.Int("parallel", 1, "evaluation workers (0 = all cores, 1 = serial)")
-		simw      = flag.Int("simworkers", 1, "worker goroutines per sharded timing simulation (0 = all cores, 1 = serial engine)")
-		asJSON    = flag.Bool("json", false, "emit the executed cells as JSON instead of the text report (-all, -fig, -ablations, -matrix)")
-		decodeb   = flag.Bool("decodebench", false, "time the entropy decoders over per-workload corpora (text table, or the trajectory's Decode section with -json)")
-		simb      = flag.Bool("simbench", false, "time the event engine replaying every workload's trace (text table, or the trajectory's Sim section with -json)")
-		verbose   = flag.Bool("v", false, "log per-run progress to stderr")
-		store     = storeflag.Register()
-		prof      = profileflag.Register()
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if err := prof.Start(); err != nil {
-		log.Fatal(err)
+// run is the testable body of slcbench. Every failure path — including
+// write errors to -out, which fmt.Fprintf-based rendering would otherwise
+// swallow — must yield a non-zero exit.
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	fs := flag.NewFlagSet("slcbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		all       = fs.Bool("all", false, "regenerate every table and figure")
+		fig       = fs.Int("fig", 0, "regenerate one figure (1, 2, 7, 8, 9)")
+		table     = fs.Int("table", 0, "regenerate one table (1, 2, 3)")
+		ablations = fs.Bool("ablations", false, "run the ablation study")
+		matrix    = fs.String("matrix", "", "run a named cell subset of the evaluation matrix (see -list-matrix)")
+		listMat   = fs.Bool("list-matrix", false, "list registered matrix subsets and exit")
+		out       = fs.String("out", "", "write output to this file instead of stdout")
+		parallel  = fs.Int("parallel", 1, "evaluation workers (0 = all cores, 1 = serial)")
+		simw      = fs.Int("simworkers", 1, "worker goroutines per sharded timing simulation (0 = all cores, 1 = serial engine)")
+		asJSON    = fs.Bool("json", false, "emit the executed cells as JSON instead of the text report (-all, -fig, -ablations, -matrix)")
+		decodeb   = fs.Bool("decodebench", false, "time the entropy decoders over per-workload corpora (text table, or the trajectory's Decode section with -json)")
+		simb      = fs.Bool("simbench", false, "time the event engine replaying every workload's trace (text table, or the trajectory's Sim section with -json)")
+		verbose   = fs.Bool("v", false, "log per-run progress to stderr")
+		store     = storeflag.RegisterOn(fs)
+		prof      = profileflag.RegisterOn(fs)
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	defer func() {
-		if err := prof.Stop(); err != nil {
-			log.Print(err)
-		}
-	}()
+	if extra := fs.Args(); len(extra) > 0 {
+		fmt.Fprintf(stderr, "slcbench: unexpected arguments: %v\n", extra)
+		fs.Usage()
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "slcbench:", err)
+		return 1
+	}
 
 	if *listMat {
 		for _, name := range experiments.MatrixNames() {
 			m, _ := experiments.LookupMatrix(name)
-			fmt.Printf("%-14s %s\n", name, m.Desc)
+			fmt.Fprintf(stdout, "%-14s %s\n", name, m.Desc)
 		}
-		return
+		return 0
 	}
 
-	var w io.Writer = os.Stdout
+	if err := prof.Start(); err != nil {
+		return fail(err)
+	}
+	defer func() {
+		// A truncated profile is a failed invocation even when the report
+		// rendered fine.
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(stderr, "slcbench:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
+
+	w := cliio.NewWriter(stdout)
+	var outFile *os.File
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
-		defer f.Close()
-		w = f
+		outFile = f
+		w = cliio.NewWriter(f)
 	}
+	defer func() {
+		// Surface short writes (full disk, closed pipe) as a failure; the
+		// rendering paths write through fmt.Fprintf, which drops errors.
+		if err := w.Err(); err != nil {
+			fmt.Fprintln(stderr, "slcbench: writing output:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		if outFile != nil {
+			if err := outFile.Close(); err != nil {
+				fmt.Fprintln(stderr, "slcbench: closing output:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}
+	}()
+
 	r := experiments.NewRunner()
 	r.SimWorkers = experiments.Workers(*simw)
 	if *verbose {
-		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ..", s) }
+		r.Progress = func(s string) { fmt.Fprintln(stderr, "  ..", s) }
 	}
 	st, err := store.Attach(r)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	if st != nil {
 		defer func() {
 			s := st.Stats()
-			fmt.Fprintf(os.Stderr, "store %s: %d hits, %d misses, %d writes\n",
+			fmt.Fprintf(stderr, "store %s: %d hits, %d misses, %d writes\n",
 				st.Dir(), s.Hits, s.Misses, s.Puts)
 		}()
 	}
@@ -142,14 +185,14 @@ func main() {
 		target = fmt.Sprintf("fig%d", *fig)
 		full, comp = experiments.CellsForFigure(*fig)
 		if len(full)+len(comp) == 0 {
-			log.Fatalf("unknown figure %d (have 1, 2, 7, 8, 9)", *fig)
+			return fail(fmt.Errorf("unknown figure %d (have 1, 2, 7, 8, 9)", *fig))
 		}
 	case *matrix != "":
 		target = "matrix:" + *matrix
 		var merr error
 		full, comp, merr = experiments.MatrixCells(*matrix)
 		if merr != nil {
-			log.Fatal(merr)
+			return fail(merr)
 		}
 	}
 
@@ -160,12 +203,12 @@ func main() {
 	if *parallel != 1 || *asJSON || *matrix != "" {
 		if len(full) > 0 {
 			if _, err := r.RunAll(full, *parallel); err != nil {
-				log.Fatal(err)
+				return fail(err)
 			}
 		}
 		if len(comp) > 0 {
 			if err := r.CompressAll(comp, *parallel); err != nil {
-				log.Fatal(err)
+				return fail(err)
 			}
 		}
 	}
@@ -176,7 +219,7 @@ func main() {
 	if *decodeb {
 		dbench, err = experiments.CollectDecodeBenches(r, 0)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		if target == "" {
 			target = "decode"
@@ -190,7 +233,7 @@ func main() {
 	if *simb {
 		sbench, err = experiments.CollectSimBenches(r, r.SimWorkers)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		if target == "" {
 			target = "sim"
@@ -199,37 +242,37 @@ func main() {
 
 	if *asJSON {
 		if target == "" {
-			log.Fatal("-json needs -all, -fig, -ablations, -matrix, -decodebench or -simbench")
+			return fail(fmt.Errorf("-json needs -all, -fig, -ablations, -matrix, -decodebench or -simbench"))
 		}
 		if err := emitJSON(w, r, target, full, comp, dbench, sbench); err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
 	if *decodeb {
 		printDecodeBenches(w, dbench)
 		if target == "decode" && *table == 0 {
-			return
+			return 0
 		}
 	}
 
 	if *simb {
 		printSimBenches(w, sbench)
 		if target == "sim" && *table == 0 {
-			return
+			return 0
 		}
 	}
 
 	switch {
 	case *all:
 		if err := experiments.Report(w, r); err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 	case *ablations:
 		ab, err := experiments.RunAblations(r)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		fmt.Fprint(w, ab)
 	case *table != 0:
@@ -241,20 +284,21 @@ func main() {
 		case 3:
 			fmt.Fprint(w, experiments.TableIII())
 		default:
-			log.Fatalf("unknown table %d (have 1, 2, 3)", *table)
+			return fail(fmt.Errorf("unknown table %d (have 1, 2, 3)", *table))
 		}
 	case *fig != 0:
 		if err := runFigure(w, r, *fig); err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 	case *matrix != "":
 		if err := printMatrix(w, r, *matrix, full, comp); err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+	return 0
 }
 
 // emitJSON re-reads the memoised cells (warmed above) and writes the bench

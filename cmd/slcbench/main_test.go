@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes the binary body in-process.
+func runCLI(args ...string) (code int, stdout, stderr string) {
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestTableTargetSucceeds(t *testing.T) {
+	code, stdout, stderr := runCLI("-table", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if stdout == "" {
+		t.Fatal("no table output")
+	}
+}
+
+func TestUnknownFigureExitsNonZero(t *testing.T) {
+	code, _, stderr := runCLI("-fig", "3")
+	if code == 0 {
+		t.Fatal("unknown figure exited 0")
+	}
+	if !strings.Contains(stderr, "unknown figure") || !strings.Contains(stderr, "1, 2, 7, 8, 9") {
+		t.Fatalf("stderr does not name the available figures: %s", stderr)
+	}
+}
+
+func TestUnknownTableExitsNonZero(t *testing.T) {
+	code, _, stderr := runCLI("-table", "9")
+	if code == 0 {
+		t.Fatal("unknown table exited 0")
+	}
+	if !strings.Contains(stderr, "unknown table") || !strings.Contains(stderr, "1, 2, 3") {
+		t.Fatalf("stderr does not name the available tables: %s", stderr)
+	}
+}
+
+func TestUnknownMatrixExitsNonZero(t *testing.T) {
+	code, _, stderr := runCLI("-matrix", "no-such-matrix")
+	if code == 0 {
+		t.Fatal("unknown matrix exited 0")
+	}
+	if !strings.Contains(stderr, "no-such-matrix") {
+		t.Fatalf("stderr does not mention the bad matrix: %s", stderr)
+	}
+}
+
+func TestStrayArgumentsExitNonZero(t *testing.T) {
+	code, _, stderr := runCLI("-table", "1", "stray")
+	if code != 2 {
+		t.Fatalf("stray arguments exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unexpected arguments") {
+		t.Fatalf("stderr does not flag stray arguments: %s", stderr)
+	}
+}
+
+func TestBadFlagExitsNonZero(t *testing.T) {
+	if code, _, _ := runCLI("-no-such-flag"); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}
+
+func TestNoTargetExitsNonZero(t *testing.T) {
+	if code, _, _ := runCLI(); code != 2 {
+		t.Fatalf("no target exited %d, want 2", code)
+	}
+}
+
+func TestOutCreateFailureExitsNonZero(t *testing.T) {
+	code, _, stderr := runCLI("-table", "1", "-out", filepath.Join(t.TempDir(), "missing", "report.txt"))
+	if code == 0 {
+		t.Fatalf("uncreatable -out exited 0, stderr: %s", stderr)
+	}
+}
+
+// TestOutWriteFailureExitsNonZero is the swallowed-write-error regression:
+// rendering to a full device used to exit 0 with a truncated (empty) report,
+// because fmt.Fprintf errors were never checked.
+func TestOutWriteFailureExitsNonZero(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available")
+	}
+	code, _, stderr := runCLI("-table", "1", "-out", "/dev/full")
+	if code == 0 {
+		t.Fatal("write failure to /dev/full exited 0")
+	}
+	if !strings.Contains(stderr, "output") {
+		t.Fatalf("stderr does not report the output failure: %s", stderr)
+	}
+}
+
+func TestListMatrixSucceeds(t *testing.T) {
+	code, stdout, _ := runCLI("-list-matrix")
+	if code != 0 || !strings.Contains(stdout, "smoke") {
+		t.Fatalf("exit %d, stdout: %s", code, stdout)
+	}
+}

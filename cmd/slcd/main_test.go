@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/serving"
+)
+
+// daemon runs the slcd body in-process against an ephemeral port and hands
+// back its base URL plus a wait function returning the exit code.
+func daemon(t *testing.T, args ...string) (base string, wait func() int, stdout *lockedBuffer) {
+	t.Helper()
+	stdout = &lockedBuffer{}
+	stderr := &lockedBuffer{}
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	go func() {
+		done <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), stdout, stderr, ready)
+	}()
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case code := <-done:
+		t.Fatalf("daemon exited %d before listening\nstderr: %s", code, stderr)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	wait = func() int {
+		select {
+		case code := <-done:
+			return code
+		case <-time.After(30 * time.Second):
+			t.Fatal("daemon never exited")
+			return -1
+		}
+	}
+	return base, wait, stdout
+}
+
+// lockedBuffer is a goroutine-safe bytes.Buffer: the daemon goroutine writes
+// while the test reads.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func testBlocks(n int) []byte {
+	data := make([]byte, n*128)
+	for i := range data {
+		data[i] = byte((i / 4) % 97)
+	}
+	return data
+}
+
+// TestServeRoundTripAndGracefulDrain is the daemon lifecycle test: start,
+// serve a compress→decompress round trip, check health and metrics, then
+// SIGTERM and verify the drain completes with exit 0.
+func TestServeRoundTripAndGracefulDrain(t *testing.T) {
+	base, wait, stdout := daemon(t, "-store", t.TempDir())
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	data := testBlocks(4)
+	creq, _ := json.Marshal(serving.CompressRequest{Codec: "bdi", Data: data})
+	resp, err = http.Post(base+"/v1/compress", "application/json", bytes.NewReader(creq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cres serving.CompressResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cres); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress: %d", resp.StatusCode)
+	}
+
+	dreq, _ := json.Marshal(serving.DecompressRequest{Codec: "bdi", Blocks: cres.Blocks})
+	resp, err = http.Post(base+"/v1/decompress", "application/json", bytes.NewReader(dreq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dres serving.DecompressResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dres); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !bytes.Equal(dres.Data, data) {
+		t.Fatal("daemon round trip is not byte-identical")
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	metrics.ReadFrom(resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if !strings.Contains(metrics.String(), "slcd_requests_total") {
+		t.Fatalf("/metrics lacks request counters:\n%s", metrics.String())
+	}
+
+	// SIGTERM to our own process: run's NotifyContext catches it.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := wait(); code != 0 {
+		t.Fatalf("drained daemon exited %d, want 0", code)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "slcd: draining") || !strings.Contains(out, "slcd: drained") {
+		t.Fatalf("stdout lacks the drain lifecycle:\n%s", out)
+	}
+
+	// The listener is gone: new connections fail.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("daemon still accepting connections after drain")
+	}
+}
+
+func TestStrayArgumentsExitNonZero(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"stray"}, &out, &errw, nil); code != 2 {
+		t.Fatalf("stray arguments exited %d, want 2", code)
+	}
+}
+
+func TestBadFlagExitsNonZero(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errw, nil); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}
+
+func TestUnbindableAddressExitsNonZero(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-addr", "256.0.0.1:0"}, &out, &errw, nil); code != 1 {
+		t.Fatalf("unbindable address exited %d, want 1", code)
+	}
+	if !strings.Contains(errw.String(), "slcd:") {
+		t.Fatalf("stderr does not report the bind failure: %s", errw.String())
+	}
+}

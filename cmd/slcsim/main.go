@@ -19,7 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"strings"
 
@@ -30,84 +30,103 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("slcsim: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of slcsim: every bad selection — unknown bench,
+// unknown codec, invalid MAG — reports the available set and exits non-zero
+// before any expensive work starts.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("slcsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bench     = flag.String("bench", "", "benchmark name (see -list)")
-		codec     = flag.String("codec", "tslc-opt", "codec registry name (see -list-codecs)")
-		magBytes  = flag.Int("mag", 32, "memory access granularity in bytes (16, 32, 64)")
-		threshold = flag.Int("threshold", 16, "lossy threshold in bytes (lossy codecs only)")
-		parallel  = flag.Int("parallel", 1, "worker goroutines for block compression (0 = all cores)")
-		simw      = flag.Int("simworkers", 1, "worker goroutines for the sharded timing simulator (0 = all cores, 1 = serial engine); results are identical either way")
-		list      = flag.Bool("list", false, "list benchmarks and exit")
-		listCodec = flag.Bool("list-codecs", false, "list registered codecs and exit")
-		verbose   = flag.Bool("v", false, "log progress")
-		store     = storeflag.Register()
+		bench     = fs.String("bench", "", "benchmark name (see -list)")
+		codec     = fs.String("codec", "tslc-opt", "codec registry name (see -list-codecs)")
+		magBytes  = fs.Int("mag", 32, "memory access granularity in bytes (16, 32, 64)")
+		threshold = fs.Int("threshold", 16, "lossy threshold in bytes (lossy codecs only)")
+		parallel  = fs.Int("parallel", 1, "worker goroutines for block compression (0 = all cores)")
+		simw      = fs.Int("simworkers", 1, "worker goroutines for the sharded timing simulator (0 = all cores, 1 = serial engine); results are identical either way")
+		list      = fs.Bool("list", false, "list benchmarks and exit")
+		listCodec = fs.Bool("list-codecs", false, "list registered codecs and exit")
+		verbose   = fs.Bool("v", false, "log progress")
+		store     = storeflag.RegisterOn(fs)
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if extra := fs.Args(); len(extra) > 0 {
+		fmt.Fprintf(stderr, "slcsim: unexpected arguments: %v\n", extra)
+		fs.Usage()
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "slcsim:", err)
+		return 1
+	}
 
 	if *list {
 		for _, w := range workloads.Registry() {
 			in := w.Info()
-			fmt.Printf("%-6s %-28s %-16s %s, %d approx regions\n",
+			fmt.Fprintf(stdout, "%-6s %-28s %-16s %s, %d approx regions\n",
 				in.Name, in.Short, in.Input, in.Metric, in.AR)
 		}
-		return
+		return 0
 	}
 	if *listCodec {
-		fmt.Println(strings.Join(compress.Names(), "\n"))
-		return
+		fmt.Fprintln(stdout, strings.Join(compress.Names(), "\n"))
+		return 0
 	}
 	if *bench == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 	w, err := workloads.ByName(*bench)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	cfg, err := experiments.NamedConfig(*codec, compress.MAG(*magBytes), *threshold*8)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	r := experiments.NewRunner()
 	r.SyncWorkers = experiments.Workers(*parallel)
 	r.SimWorkers = experiments.Workers(*simw)
 	if *verbose {
-		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ..", s) }
+		r.Progress = func(s string) { fmt.Fprintln(stderr, "  ..", s) }
 	}
 	if _, err := store.Attach(r); err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	res, err := r.Run(w, cfg)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	base, err := r.Run(w, experiments.E2MCConfig(cfg.MAG))
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
-	print(res, base)
+	printResult(stdout, res, base)
+	return 0
 }
 
-func print(res, base experiments.RunResult) {
-	fmt.Printf("%s × %s\n", res.Workload, res.Config.Name)
-	fmt.Printf("  compression: raw CR %.2f, effective CR %.2f, %d blocks (%d lossy, %d raw)\n",
+func printResult(out io.Writer, res, base experiments.RunResult) {
+	fmt.Fprintf(out, "%s × %s\n", res.Workload, res.Config.Name)
+	fmt.Fprintf(out, "  compression: raw CR %.2f, effective CR %.2f, %d blocks (%d lossy, %d raw)\n",
 		res.Comp.RawRatio(), res.Comp.EffectiveRatio(),
 		res.Comp.Blocks, res.Comp.LossyBlocks, res.Comp.Uncompressed)
-	fmt.Printf("  error: %.4f%%\n", res.ErrorFrac*100)
-	fmt.Printf("  time: %.1f µs (%.0f SM cycles)\n", res.Sim.TimeNs/1e3, res.Sim.SMCycles)
-	fmt.Printf("  traffic: %d bursts (%d metadata), %.2f MB data (row hits %d / misses %d)\n",
+	fmt.Fprintf(out, "  error: %.4f%%\n", res.ErrorFrac*100)
+	fmt.Fprintf(out, "  time: %.1f µs (%.0f SM cycles)\n", res.Sim.TimeNs/1e3, res.Sim.SMCycles)
+	fmt.Fprintf(out, "  traffic: %d bursts (%d metadata), %.2f MB data (row hits %d / misses %d)\n",
 		res.Sim.DramBursts, res.Sim.DramMetaBursts,
 		float64(res.Sim.DramBytes)/1e6, res.Sim.RowHits, res.Sim.RowMisses)
-	fmt.Printf("  L2: %d hits, %d misses, %d writebacks; MDC: %d hits, %d misses\n",
+	fmt.Fprintf(out, "  L2: %d hits, %d misses, %d writebacks; MDC: %d hits, %d misses\n",
 		res.Sim.L2.Hits, res.Sim.L2.Misses, res.Sim.L2.Writebacks,
 		res.Sim.MC.MDCHits, res.Sim.MC.MDCMisses)
 	e := res.Energy
-	fmt.Printf("  energy: %.3f mJ (static %.3f, core %.3f, L2 %.3f, DRAM %.3f, codec %.5f)\n",
+	fmt.Fprintf(out, "  energy: %.3f mJ (static %.3f, core %.3f, L2 %.3f, DRAM %.3f, codec %.5f)\n",
 		e.TotalMJ(), e.StaticMJ, e.CoreMJ, e.L2MJ, e.DramMJ, e.CodecMJ)
 	if res.Config.Name != base.Config.Name {
-		fmt.Printf("  vs %s: speedup %.3f, bandwidth %.3f, energy %.3f, EDP %.3f\n",
+		fmt.Fprintf(out, "  vs %s: speedup %.3f, bandwidth %.3f, energy %.3f, EDP %.3f\n",
 			base.Config.Name,
 			base.Sim.TimeNs/res.Sim.TimeNs,
 			float64(res.Sim.DramBytes)/float64(base.Sim.DramBytes),

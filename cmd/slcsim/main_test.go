@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(args ...string) (code int, stdout, stderr string) {
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestListSucceeds(t *testing.T) {
+	code, stdout, _ := runCLI("-list")
+	if code != 0 || !strings.Contains(stdout, "SRAD1") {
+		t.Fatalf("exit %d, stdout: %s", code, stdout)
+	}
+}
+
+func TestListCodecsSucceeds(t *testing.T) {
+	code, stdout, _ := runCLI("-list-codecs")
+	if code != 0 || !strings.Contains(stdout, "e2mc") {
+		t.Fatalf("exit %d, stdout: %s", code, stdout)
+	}
+}
+
+func TestUnknownBenchExitsWithAvailableSet(t *testing.T) {
+	code, _, stderr := runCLI("-bench", "no-such-bench")
+	if code != 1 {
+		t.Fatalf("unknown bench exited %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "available") || !strings.Contains(stderr, "SRAD1") {
+		t.Fatalf("stderr does not list the available benchmarks: %s", stderr)
+	}
+}
+
+func TestUnknownCodecExitsWithAvailableSet(t *testing.T) {
+	code, _, stderr := runCLI("-bench", "NN", "-codec", "no-such-codec")
+	if code != 1 {
+		t.Fatalf("unknown codec exited %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "available") || !strings.Contains(stderr, "e2mc") {
+		t.Fatalf("stderr does not list the available codecs: %s", stderr)
+	}
+}
+
+// TestInvalidMAGFailsFast pins the validate-before-work ordering: an invalid
+// MAG must be rejected by configuration validation, not discovered after
+// entropy-table training.
+func TestInvalidMAGFailsFast(t *testing.T) {
+	code, _, stderr := runCLI("-bench", "NN", "-codec", "tslc-opt", "-mag", "7")
+	if code != 1 {
+		t.Fatalf("invalid MAG exited %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "invalid MAG") {
+		t.Fatalf("stderr does not report the invalid MAG: %s", stderr)
+	}
+	if strings.Contains(stderr, "training") {
+		t.Fatalf("trained a table before rejecting the MAG: %s", stderr)
+	}
+}
+
+func TestStrayArgumentsExitNonZero(t *testing.T) {
+	if code, _, _ := runCLI("-list", "stray"); code != 2 {
+		t.Fatalf("stray arguments exited %d, want 2", code)
+	}
+}
+
+func TestBadFlagExitsNonZero(t *testing.T) {
+	if code, _, _ := runCLI("-no-such-flag"); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}
+
+func TestNoBenchExitsNonZero(t *testing.T) {
+	if code, _, _ := runCLI(); code != 2 {
+		t.Fatalf("missing -bench exited %d, want 2", code)
+	}
+}

@@ -21,7 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	"repro/internal/compress"
@@ -35,58 +35,77 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("slctrace: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of slctrace. The whole configuration — bench,
+// codec, MAG, threshold — is validated up front: an invalid MAG used to
+// surface only at pipeline construction, after minutes of entropy-table
+// training it then threw away.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("slctrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bench     = flag.String("bench", "", "benchmark name")
-		codec     = flag.String("codec", "e2mc", "codec registry name")
-		magBytes  = flag.Int("mag", 32, "memory access granularity in bytes")
-		threshold = flag.Int("threshold", 16, "lossy threshold in bytes (lossy codecs only)")
-		parallel  = flag.Int("parallel", 1, "worker goroutines for block compression (0 = all cores)")
-		simulate  = flag.Bool("sim", false, "also replay the trace through the timing simulator")
-		simw      = flag.Int("simworkers", 1, "worker goroutines for the sharded timing simulator (0 = all cores, 1 = serial engine)")
-		store     = storeflag.Register()
+		bench     = fs.String("bench", "", "benchmark name")
+		codec     = fs.String("codec", "e2mc", "codec registry name")
+		magBytes  = fs.Int("mag", 32, "memory access granularity in bytes")
+		threshold = fs.Int("threshold", 16, "lossy threshold in bytes (lossy codecs only)")
+		parallel  = fs.Int("parallel", 1, "worker goroutines for block compression (0 = all cores)")
+		simulate  = fs.Bool("sim", false, "also replay the trace through the timing simulator")
+		simw      = fs.Int("simworkers", 1, "worker goroutines for the sharded timing simulator (0 = all cores, 1 = serial engine)")
+		store     = storeflag.RegisterOn(fs)
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if extra := fs.Args(); len(extra) > 0 {
+		fmt.Fprintf(stderr, "slctrace: unexpected arguments: %v\n", extra)
+		fs.Usage()
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "slctrace:", err)
+		return 1
+	}
 	if *bench == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 	w, err := workloads.ByName(*bench)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	mag := compress.MAG(*magBytes)
 	cfg, err := experiments.NamedConfig(*codec, mag, *threshold*8)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	r := experiments.NewRunner()
-	r.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ..", s) }
+	r.Progress = func(s string) { fmt.Fprintln(stderr, "  ..", s) }
 	// The store serves slctrace's entropy-table training (tables are the
 	// expensive part of building a tslc-* pipeline).
 	if _, err := store.Attach(r); err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 
 	// Build the configured pipeline and record the trace.
 	dev := device.New()
 	lossless, lossy, err := experiments.RunnerCodecs(r, w, cfg)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	pl, err := pipeline.New(dev, mag, lossless, lossy)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	pl.SetWorkers(experiments.Workers(*parallel))
 	rec := trace.NewRecorder(pl.BurstsFor)
 	if _, err := w.Run(workloads.NewCtx(dev, rec, pl.Sync)); err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 
 	tr := rec.Trace()
-	fmt.Printf("%s trace (%s)\n", w.Info().Name, cfg.Name)
+	fmt.Fprintf(stdout, "%s trace (%s)\n", w.Info().Name, cfg.Name)
 	for _, k := range tr.Kernels {
 		var acc, rd, wr, bursts int
 		for _, warp := range k.Warps {
@@ -100,33 +119,34 @@ func main() {
 				bursts += int(a.Bursts)
 			}
 		}
-		fmt.Printf("  kernel %-22s warps %6d  accesses %8d (r %d / w %d)  bursts %9d\n",
+		fmt.Fprintf(stdout, "  kernel %-22s warps %6d  accesses %8d (r %d / w %d)  bursts %9d\n",
 			k.Name, len(k.Warps), acc, rd, wr, bursts)
 	}
 	st := tr.Stats(mag)
-	fmt.Printf("total: %d kernels, %d accesses, %d bursts, %.2f MB\n",
+	fmt.Fprintf(stdout, "total: %d kernels, %d accesses, %d bursts, %.2f MB\n",
 		st.Kernels, st.Accesses, st.Bursts, float64(st.Bytes)/1e6)
 
 	cs := pl.Stats()
-	fmt.Printf("\ncompressed-block distribution (bytes above a multiple of MAG):\n")
+	fmt.Fprintf(stdout, "\ncompressed-block distribution (bytes above a multiple of MAG):\n")
 	for x, cnt := range cs.AboveMAG {
 		if cnt == 0 {
 			continue
 		}
 		pct := 100 * float64(cnt) / float64(cs.Blocks)
-		fmt.Printf("  %2dB %7d blocks (%5.1f%%)\n", x, cnt, pct)
+		fmt.Fprintf(stdout, "  %2dB %7d blocks (%5.1f%%)\n", x, cnt, pct)
 	}
-	fmt.Printf("raw CR %.2f, effective CR %.2f\n", cs.RawRatio(), cs.EffectiveRatio())
+	fmt.Fprintf(stdout, "raw CR %.2f, effective CR %.2f\n", cs.RawRatio(), cs.EffectiveRatio())
 
 	if *simulate {
 		sc := experiments.SimConfig(cfg)
 		sc.Workers = experiments.Workers(*simw)
 		res, err := sim.Run(tr, sc)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("\ntiming replay: %.1f µs, %d bursts (%d metadata), %.2f MB data\n",
+		fmt.Fprintf(stdout, "\ntiming replay: %.1f µs, %d bursts (%d metadata), %.2f MB data\n",
 			res.TimeNs/1e3, res.DramBursts, res.DramMetaBursts,
 			float64(res.DramBytes)/1e6)
 	}
+	return 0
 }

@@ -42,7 +42,8 @@ var Determinism = &Analyzer{
 func determinismScope(path string) bool {
 	return strings.HasPrefix(path, "repro/internal/gpu") ||
 		strings.HasPrefix(path, "repro/internal/pipeline") ||
-		strings.HasPrefix(path, "repro/internal/experiments")
+		strings.HasPrefix(path, "repro/internal/experiments") ||
+		strings.HasPrefix(path, "repro/internal/serving")
 }
 
 // seededConstructors are the math/rand functions that build an explicitly

@@ -1,0 +1,34 @@
+// Package cliio provides the error-checked output plumbing shared by the
+// cmd binaries. A report silently truncated by a full disk used to exit 0
+// (`-out` writes went through unchecked fmt.Fprintf); Writer remembers the
+// first write error so the binary can fail loudly at the end of the run.
+package cliio
+
+import "io"
+
+// Writer forwards writes to W and latches the first error. After a write
+// fails, subsequent writes are dropped and return the same error, so a
+// rendering path built on fmt.Fprintf (which discards errors) still leaves
+// the failure observable via Err.
+type Writer struct {
+	w   io.Writer
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Write implements io.Writer.
+func (e *Writer) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+	}
+	return n, err
+}
+
+// Err returns the first write error, if any.
+func (e *Writer) Err() error { return e.err }

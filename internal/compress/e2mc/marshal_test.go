@@ -66,12 +66,28 @@ func TestTableUnmarshalRejectsCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// mutate returns a copy of the valid record with one byte replaced.
+	mutate := func(i int, b byte) []byte {
+		c := append([]byte(nil), data...)
+		c[i] = b
+		return c
+	}
 	cases := map[string][]byte{
 		"empty":       {},
 		"short":       data[:4],
 		"truncated":   data[:len(data)-3],
-		"bad version": append([]byte{99}, data[1:]...),
-		"bad maxlen":  append([]byte{data[0], 0}, data[2:]...),
+		"trailing":    append(append([]byte(nil), data...), 0),
+		"bad version": mutate(0, 99),
+		// maxLen bounds: 0 and 255 both reject (an unbounded maxLen would
+		// size the decode LUT, so the bound is a memory-safety check, not
+		// cosmetics — these bytes arrive over the network via slcd).
+		"zero maxlen":      mutate(1, 0),
+		"oversized maxlen": mutate(1, 255),
+		// gapK must be one of the supported decode granularities {4, 8, 16}.
+		"bad gapK":  mutate(2, 3),
+		"zero gapK": mutate(2, 0),
+		// Declared entry count inconsistent with the payload length.
+		"huge n": mutate(3, 0xff),
 	}
 	// Kraft violation: all code lengths 1.
 	bad := append([]byte(nil), data...)
@@ -79,10 +95,66 @@ func TestTableUnmarshalRejectsCorruption(t *testing.T) {
 		bad[i] = 1
 	}
 	cases["kraft violation"] = bad
+	// Duplicate symbol: entry 1 repeats entry 0's symbol.
+	dup := append([]byte(nil), data...)
+	copy(dup[9:11], dup[7:9])
+	cases["duplicate symbol"] = dup
 	for name, c := range cases {
 		var got Table
 		if err := got.UnmarshalBinary(c); err == nil {
 			t.Errorf("%s: UnmarshalBinary accepted corrupt record", name)
 		}
 	}
+}
+
+// FuzzTableUnmarshal hammers UnmarshalBinary with arbitrary bytes: it must
+// never panic or allocate absurdly — table records become network-reachable
+// through slcd's result store path — and any input it does accept must
+// describe a usable, re-marshallable table.
+func FuzzTableUnmarshal(f *testing.F) {
+	tr := NewTrainer()
+	block := make([]byte, compress.BlockSize)
+	for b := 0; b < 64; b++ {
+		for i := 0; i < compress.SymbolsPerBlock; i++ {
+			v := uint16(i % 7)
+			if (b+i)%13 == 0 {
+				v = uint16(b*251 + i*17)
+			}
+			block[2*i] = byte(v)
+			block[2*i+1] = byte(v >> 8)
+		}
+		tr.Sample(block)
+	}
+	if tab, err := tr.Build(64, 0); err == nil {
+		if data, err := tab.MarshalBinary(); err == nil {
+			f.Add(data)
+			// Seed near-miss corruptions of a valid record.
+			for i := 0; i < len(data) && i < 16; i++ {
+				c := append([]byte(nil), data...)
+				c[i] ^= 0xff
+				f.Add(c)
+			}
+			f.Add(data[:len(data)-1])
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{2, 15, 4, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tab Table
+		if err := tab.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Accepted: the table must be usable and round-trip stably.
+		for sym := 0; sym < 256; sym++ {
+			tab.SymbolBits(uint16(sym))
+		}
+		out, err := tab.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted record does not re-marshal: %v", err)
+		}
+		var again Table
+		if err := again.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-marshalled record rejected: %v", err)
+		}
+	})
 }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/compress"
 	_ "repro/internal/compress/all" // register every codec
 	"repro/internal/compress/e2mc"
+	"repro/internal/flight"
 	"repro/internal/gpu/device"
 	"repro/internal/gpu/sim"
 	"repro/internal/gpu/trace"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/power"
 	"repro/internal/resultstore"
+	"repro/internal/serving"
 	"repro/internal/slc"
 	"repro/internal/workloads"
 )
@@ -61,6 +63,11 @@ func NamedConfig(codec string, mag compress.MAG, thresholdBits int) (Config, err
 	info, ok := compress.Lookup(codec)
 	if !ok {
 		return Config{}, compress.UnknownCodecError(codec)
+	}
+	if !mag.Valid() {
+		// Validate here, not deep inside pipeline construction: by then a
+		// tool may already have trained an entropy table for nothing.
+		return Config{}, fmt.Errorf("experiments: invalid MAG %d (want a power of two dividing %d)", mag, compress.BlockSize)
 	}
 	cfg := Config{Codec: codec, MAG: mag}
 	if info.Lossy {
@@ -112,55 +119,12 @@ type RunResult struct {
 // derive from it.
 func cellKey(workload string, cfg Config) string { return workload + "|" + cfg.Name }
 
-// cell is one singleflight slot: the first requester computes, concurrent
-// requesters wait on done and read the shared value.
-type cell[T any] struct {
-	done chan struct{}
-	val  T
-	err  error
-}
-
-// flight memoises keyed computations with singleflight semantics.
-type flight[T any] struct {
-	mu sync.Mutex
-	m  map[string]*cell[T]
-}
-
-// do returns the memoised value for key, computing it with fn exactly once
-// no matter how many goroutines ask concurrently.
-func (f *flight[T]) do(key string, fn func() (T, error)) (T, error) {
-	f.mu.Lock()
-	if f.m == nil {
-		f.m = make(map[string]*cell[T])
-	}
-	if c, ok := f.m[key]; ok {
-		f.mu.Unlock()
-		<-c.done
-		return c.val, c.err
-	}
-	c := &cell[T]{done: make(chan struct{})}
-	f.m[key] = c
-	f.mu.Unlock()
-	// done must close even if fn panics (the pipeline panics on corrupted
-	// round trips): a recovered panic higher up must not leave waiters — or
-	// any future requester of this key — blocked forever.
-	defer close(c.done)
-	defer func() {
-		if r := recover(); r != nil {
-			c.err = fmt.Errorf("experiments: panic computing %s: %v", key, r)
-			panic(r)
-		}
-	}()
-	c.val, c.err = fn()
-	return c.val, c.err
-}
-
 // Runner executes and memoises evaluation cells. The zero value is not
 // usable; call NewRunner.
 type Runner struct {
-	golden  flight[[]float64]
-	tables  flight[*e2mc.Table]
-	results flight[RunResult]
+	golden  flight.Group[[]float64]
+	tables  serving.TableCache
+	results flight.Group[RunResult]
 
 	// Store, when non-nil, persists memoised computations to disk,
 	// content-addressed by workload, configuration and code fingerprint
@@ -187,7 +151,16 @@ type Runner struct {
 }
 
 // NewRunner returns an empty runner.
-func NewRunner() *Runner { return &Runner{} }
+func NewRunner() *Runner {
+	r := &Runner{}
+	// The runner is a thin client of the serving tier's builder cache: table
+	// training and codec construction live in internal/serving, shared with
+	// the slcd daemon. Store is read through a closure so assigning
+	// Runner.Store after construction (the storeflag pattern) is seen.
+	r.tables.Store = func() *resultstore.Store { return r.Store }
+	r.tables.Progress = r.progress
+	return r
+}
 
 func (r *Runner) progress(format string, args ...interface{}) {
 	r.progressMu.Lock()
@@ -200,7 +173,7 @@ func (r *Runner) progress(format string, args ...interface{}) {
 // Golden returns the exact (uncompressed) outputs of a workload.
 func (r *Runner) Golden(w workloads.Workload) ([]float64, error) {
 	name := w.Info().Name
-	return r.golden.do(name, func() ([]float64, error) {
+	return r.golden.Do(name, func() ([]float64, error) {
 		key, usable := r.storeKey(kindGolden, goldenMaterial(w))
 		if usable {
 			var out []float64
@@ -225,87 +198,21 @@ func (r *Runner) Golden(w workloads.Workload) ([]float64, error) {
 
 // Table returns the workload's E2MC table, trained by sampling the device
 // image at every region synchronisation — the online-sampling substitute.
+// The work happens in the shared serving.TableCache: memory hit → store hit
+// → train, in a singleflight slot per workload.
 func (r *Runner) Table(w workloads.Workload) (*e2mc.Table, error) {
-	name := w.Info().Name
-	return r.tables.do(name, func() (*e2mc.Table, error) {
-		key, usable := r.storeKey(kindTable, tableMaterial(w))
-		if usable {
-			if payload, hit, err := r.Store.GetBytes(key); err != nil {
-				return nil, fmt.Errorf("table %s: store: %w", name, err)
-			} else if hit {
-				var tab e2mc.Table
-				if uerr := tab.UnmarshalBinary(payload); uerr == nil {
-					return &tab, nil
-				}
-				// Undecodable under the current wire format: recompute.
-			}
-		}
-		r.progress("training table: %s", name)
-		dev := device.New()
-		trainer := e2mc.NewTrainer()
-		sync := func(reg device.Region) {
-			reg.BlockAddrs(func(addr uint64) {
-				block, err := dev.Block(addr)
-				if err != nil {
-					panic(err)
-				}
-				trainer.Sample(block)
-			})
-		}
-		if _, err := w.Run(workloads.NewCtx(dev, nil, sync)); err != nil {
-			return nil, fmt.Errorf("training %s: %w", name, err)
-		}
-		tab, err := trainer.Build(0, 0)
-		if err != nil {
-			return nil, fmt.Errorf("building table for %s: %w", name, err)
-		}
-		if usable {
-			r.storePut(func() error {
-				data, merr := tab.MarshalBinary()
-				if merr != nil {
-					return merr
-				}
-				return r.Store.PutBytes(key, kindTable, "bin", data)
-			}, kindTable)
-		}
-		return tab, nil
-	})
+	return r.tables.Table(w)
 }
+
+// TableStats returns the builder cache's traffic counters (requests,
+// retrains, disk hits).
+func (r *Runner) TableStats() serving.TableStats { return r.tables.Stats() }
 
 // codecs builds the lossless and lossy codecs of a configuration from the
 // registry. Identity codecs (the raw baseline) yield a nil pair; lossy
 // codecs additionally build their lossless base for exact regions.
 func (r *Runner) codecs(w workloads.Workload, cfg Config) (lossless, lossy compress.Codec, err error) {
-	info, ok := compress.Lookup(cfg.Codec)
-	if !ok {
-		return nil, nil, compress.UnknownCodecError(cfg.Codec)
-	}
-	if info.Identity {
-		return nil, nil, nil
-	}
-	ctx := compress.BuildContext{MAG: cfg.MAG, ThresholdBits: cfg.ThresholdBits}
-	if info.NeedsTable {
-		tab, err := r.Table(w)
-		if err != nil {
-			return nil, nil, err
-		}
-		ctx.Table = tab
-	}
-	c, err := info.New(ctx)
-	if err != nil {
-		return nil, nil, fmt.Errorf("experiments: building %q: %w", cfg.Codec, err)
-	}
-	if !info.Lossy {
-		return c, nil, nil
-	}
-	if info.Base == "" {
-		return nil, nil, fmt.Errorf("experiments: lossy codec %q registers no lossless base", cfg.Codec)
-	}
-	base, err := compress.Build(info.Base, ctx)
-	if err != nil {
-		return nil, nil, fmt.Errorf("experiments: building base %q for %q: %w", info.Base, cfg.Codec, err)
-	}
-	return base, c, nil
+	return r.tables.Codecs(w, cfg.Codec, cfg.MAG, cfg.ThresholdBits)
 }
 
 // SimConfig derives the simulator configuration for a compression
@@ -339,7 +246,7 @@ func (r *Runner) newPipeline(dev *device.Device, cfg Config, lossless, lossy com
 func (r *Runner) Run(w workloads.Workload, cfg Config) (RunResult, error) {
 	info := w.Info()
 	key := cellKey(info.Name, cfg)
-	return r.results.do(key, func() (RunResult, error) {
+	return r.results.Do(key, func() (RunResult, error) {
 		// Disk hit short-circuits everything, including the golden run and
 		// table training the cell would otherwise request.
 		dkey, usable := r.storeKey(kindCell, r.cellMaterial(w, cfg))
@@ -407,7 +314,7 @@ func (r *Runner) Run(w workloads.Workload, cfg Config) (RunResult, error) {
 func (r *Runner) CompressionOnly(w workloads.Workload, cfg Config) (pipeline.Stats, error) {
 	info := w.Info()
 	key := cellKey(info.Name, cfg) + "|comp"
-	res, err := r.results.do(key, func() (RunResult, error) {
+	res, err := r.results.Do(key, func() (RunResult, error) {
 		dkey, usable := r.storeKey(kindComp, compMaterial(w, cfg))
 		if usable {
 			var cached RunResult

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"repro/internal/compress/e2mc"
 	"repro/internal/resultstore"
 	"repro/internal/workloads"
 )
@@ -18,10 +17,11 @@ import (
 // fingerprint (resultstore.NewKey), so any change recomputes instead of
 // serving stale records.
 
-// Store record kinds.
+// Store record kinds. The trained-table kind and material moved to
+// internal/serving with the builder cache (byte-identical key material, so
+// existing stores keep hitting).
 const (
 	kindGolden = "golden"
-	kindTable  = "table"
 	kindCell   = "cell"
 	kindComp   = "comp"
 )
@@ -29,17 +29,6 @@ const (
 // goldenMaterial keys a workload's exact outputs.
 func goldenMaterial(w workloads.Workload) resultstore.Material {
 	return resultstore.Material{"workload": workloads.Fingerprint(w)}
-}
-
-// tableMaterial keys a workload's trained entropy table: the sampling
-// scheme (every region sync) and the table construction parameters.
-func tableMaterial(w workloads.Workload) resultstore.Material {
-	return resultstore.Material{
-		"workload":   workloads.Fingerprint(w),
-		"sampling":   "region-sync-v1",
-		"maxSymbols": e2mc.DefaultMaxSymbols,
-		"maxCodeLen": e2mc.DefaultMaxCodeLen,
-	}
 }
 
 // cellMaterial keys one full evaluation cell: workload content, the

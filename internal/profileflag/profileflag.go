@@ -22,11 +22,15 @@ type Flags struct {
 }
 
 // Register adds -cpuprofile and -memprofile to the default flag set.
-func Register() *Flags {
+func Register() *Flags { return RegisterOn(flag.CommandLine) }
+
+// RegisterOn adds -cpuprofile and -memprofile to fs, for binaries built on
+// their own flag.FlagSet (the testable `run(args, ...)` pattern).
+func RegisterOn(fs *flag.FlagSet) *Flags {
 	return &Flags{
-		cpu: flag.String("cpuprofile", "",
+		cpu: fs.String("cpuprofile", "",
 			"write a CPU profile to this file (view with `go tool pprof`)"),
-		mem: flag.String("memprofile", "",
+		mem: fs.String("memprofile", "",
 			"write a heap profile to this file on exit"),
 	}
 }

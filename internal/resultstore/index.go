@@ -2,12 +2,16 @@ package resultstore
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -36,12 +40,19 @@ func (s *Store) lockPath() string  { return filepath.Join(s.dir, "lock") }
 
 // lock acquires the store's advisory lock file, returning the unlock
 // function. The lock is a create-exclusive file holding a unique owner
-// token, retried with backoff. A lock older than lockStaleAfter is
-// presumed abandoned (a killed process) and stolen — by renaming it to a
-// unique name first, so exactly one of any number of racing stealers
-// wins, and a holder whose lock was stolen cannot later delete the
-// thief's lock: unlock only removes the file while it still carries the
-// owner's token.
+// token (pid-seq-nanos-host), retried with backoff. A lock whose holder is
+// provably gone is stolen — by renaming it to a unique name first, so
+// exactly one of any number of racing stealers wins, and a holder whose
+// lock was stolen cannot later delete the thief's lock: unlock only removes
+// the file while it still carries the owner's token. Staleness is decided
+// two ways:
+//
+//   - PID liveness: the token names the holder's pid and host; if the host
+//     matches and that pid no longer exists, the holder crashed and the
+//     lock is stolen immediately — a killed process must not wedge (or even
+//     10-second-stall) every subsequent run sharing the store.
+//   - mtime: for cross-host stores, unreadable tokens, or pid reuse, a lock
+//     untouched for lockStaleAfter is presumed abandoned.
 const (
 	lockStaleAfter = 10 * time.Second
 	lockRetryEvery = 2 * time.Millisecond
@@ -50,9 +61,59 @@ const (
 
 var lockSeq atomic.Int64
 
+// lockToken renders the owner token: pid, per-process sequence, wall-clock
+// nanoseconds and hostname, newline-terminated.
+func lockToken() string {
+	host, _ := os.Hostname()
+	return fmt.Sprintf("%d-%d-%d-%s\n", os.Getpid(), lockSeq.Add(1), time.Now().UnixNano(), host)
+}
+
+// parseLockToken extracts the holder pid and host from a lock file's
+// contents. ok is false for foreign or pre-takeover token formats (those
+// fall back to the mtime rule).
+func parseLockToken(token string) (pid int, host string, ok bool) {
+	fields := strings.SplitN(strings.TrimSuffix(token, "\n"), "-", 4)
+	if len(fields) != 4 {
+		return 0, "", false
+	}
+	pid, err := strconv.Atoi(fields[0])
+	if err != nil || pid <= 0 {
+		return 0, "", false
+	}
+	return pid, fields[3], true
+}
+
+// pidAlive reports whether a process with the given pid exists. Signal 0
+// performs the existence check without delivering anything; EPERM means the
+// process exists but is not ours — still alive.
+func pidAlive(pid int) bool {
+	proc, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = proc.Signal(syscall.Signal(0))
+	return err == nil || errors.Is(err, syscall.EPERM)
+}
+
+// staleLock decides whether the lock at path is abandoned, returning the
+// reason for the takeover log.
+func staleLock(path string) (reason string, stale bool) {
+	if token, err := os.ReadFile(path); err == nil {
+		if pid, host, ok := parseLockToken(string(token)); ok {
+			if self, herr := os.Hostname(); herr == nil && host == self && !pidAlive(pid) {
+				return fmt.Sprintf("holder pid %d is dead", pid), true
+			}
+		}
+	}
+	if fi, err := os.Stat(path); err == nil && time.Since(fi.ModTime()) > lockStaleAfter {
+		return fmt.Sprintf("untouched for %v", time.Since(fi.ModTime()).Round(time.Second)), true
+	}
+	return "", false
+}
+
 func (s *Store) lock() (func(), error) {
 	path := s.lockPath()
-	token := fmt.Sprintf("%d-%d-%d\n", os.Getpid(), lockSeq.Add(1), time.Now().UnixNano())
+	token := lockToken()
 	deadline := time.Now().Add(lockGiveUp)
 	for {
 		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o666)
@@ -69,13 +130,14 @@ func (s *Store) lock() (func(), error) {
 		if !os.IsExist(err) {
 			return nil, fmt.Errorf("resultstore: acquiring lock: %w", err)
 		}
-		if fi, serr := os.Stat(path); serr == nil && time.Since(fi.ModTime()) > lockStaleAfter {
+		if reason, stale := staleLock(path); stale {
 			// Abandoned lock: move it aside and retry the create. Rename is
 			// atomic, so concurrent stealers cannot delete each other's
 			// freshly created locks — the losers' renames just fail.
-			stale := fmt.Sprintf("%s.stale-%d-%d", path, os.Getpid(), lockSeq.Add(1))
-			if os.Rename(path, stale) == nil {
-				os.Remove(stale)
+			aside := fmt.Sprintf("%s.stale-%d-%d", path, os.Getpid(), lockSeq.Add(1))
+			if os.Rename(path, aside) == nil {
+				os.Remove(aside)
+				s.logf("stale lock %s taken over (%s)", path, reason)
 			}
 			continue
 		}

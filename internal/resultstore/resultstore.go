@@ -46,6 +46,11 @@ type Options struct {
 	// are evicted past it. Zero selects DefaultMaxBytes, negative disables
 	// the cap.
 	MaxBytes int64
+
+	// Logf, when set, receives operational notices — most importantly
+	// stale-lock takeovers (a crashed holder's advisory lock being stolen).
+	// Calls may come from any goroutine; the provider serialises.
+	Logf func(format string, args ...interface{})
 }
 
 // Store is a content-addressed result cache rooted at one directory. It is
@@ -55,6 +60,7 @@ type Store struct {
 	dir         string
 	fingerprint string
 	maxBytes    int64
+	logf        func(format string, args ...interface{})
 
 	hits   atomic.Int64
 	misses atomic.Int64
@@ -90,6 +96,10 @@ func Open(dir string, opts Options) (*Store, error) {
 		dir:         dir,
 		fingerprint: opts.Fingerprint,
 		maxBytes:    opts.MaxBytes,
+		logf:        opts.Logf,
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...interface{}) {}
 	}
 	if s.fingerprint == "" {
 		s.fingerprint = Fingerprint()

@@ -1,0 +1,184 @@
+package serving
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/compress"
+)
+
+// DefaultRequestTimeout bounds one request's work when the handler's
+// context carries no earlier deadline.
+const DefaultRequestTimeout = 30 * time.Second
+
+// Handler serves the slcd HTTP API over a Core.
+//
+//	POST /v1/compress    CompressRequest   -> CompressResponse
+//	POST /v1/decompress  DecompressRequest -> DecompressResponse
+//	POST /v1/evaluate    EvaluateRequest   -> EvaluateResponse
+//	GET  /v1/codecs      registered codec table
+//	GET  /healthz        200 while serving, 503 while draining
+//	GET  /metrics        Prometheus text format
+type Handler struct {
+	core    *Core
+	timeout time.Duration
+	mux     *http.ServeMux
+}
+
+// NewHandler builds the HTTP API over core. timeout bounds each request's
+// work; non-positive selects DefaultRequestTimeout.
+func NewHandler(core *Core, timeout time.Duration) *Handler {
+	if timeout <= 0 {
+		timeout = DefaultRequestTimeout
+	}
+	h := &Handler{core: core, timeout: timeout, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/v1/compress", post(h, "compress", func(ctx context.Context, req *CompressRequest) (*CompressResponse, error) {
+		return core.Compress(ctx, req)
+	}))
+	h.mux.HandleFunc("/v1/decompress", post(h, "decompress", func(ctx context.Context, req *DecompressRequest) (*DecompressResponse, error) {
+		return core.Decompress(ctx, req)
+	}))
+	h.mux.HandleFunc("/v1/evaluate", post(h, "evaluate", func(ctx context.Context, req *EvaluateRequest) (*EvaluateResponse, error) {
+		return core.Evaluate(ctx, req)
+	}))
+	h.mux.HandleFunc("/v1/codecs", h.handleCodecs)
+	h.mux.HandleFunc("/healthz", h.handleHealthz)
+	h.mux.HandleFunc("/metrics", h.handleMetrics)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// errorBody is the JSON error envelope of every non-2xx API response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// statusFor maps a Core error to its HTTP status.
+func statusFor(err error) int {
+	var reqErr *RequestError
+	switch {
+	case errors.As(err, &reqErr):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrSaturated):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client went away; 499 in nginx's dialect, any status works — the
+		// connection is gone.
+		return 499
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeJSON writes one JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // headers are out; nothing left to report to the client
+}
+
+// post adapts one typed Core method into an http.HandlerFunc: method check,
+// JSON decode, per-request timeout, error mapping and metrics.
+func post[Req any, Resp any](h *Handler, endpoint string, fn func(context.Context, *Req) (*Resp, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			h.finish(w, endpoint, http.StatusMethodNotAllowed, time.Time{}, errorBody{Error: "POST only"})
+			return
+		}
+		// Serving latency is wall-clock by nature; the deterministic-core
+		// rule stops at the transport layer.
+		start := time.Now() //slclint:allow determinism request latency measurement is inherently wall-clock
+		var req Req
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			h.finish(w, endpoint, http.StatusBadRequest, start, errorBody{Error: fmt.Sprintf("decoding request: %v", err)})
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), h.timeout)
+		defer cancel()
+		resp, err := fn(ctx, &req)
+		if err != nil {
+			status := statusFor(err)
+			if status == http.StatusGatewayTimeout && r.Context().Err() == nil {
+				// The per-request timeout fired, not the client's deadline.
+				err = fmt.Errorf("request exceeded the %s timeout", h.timeout)
+			}
+			h.finish(w, endpoint, status, start, errorBody{Error: err.Error()})
+			return
+		}
+		h.finish(w, endpoint, http.StatusOK, start, resp)
+	}
+}
+
+// finish writes the response and records the request metrics.
+func (h *Handler) finish(w http.ResponseWriter, endpoint string, status int, start time.Time, body interface{}) {
+	labels := `endpoint="` + endpoint + `",code="` + strconv.Itoa(status) + `"`
+	h.core.Metrics.Add("slcd_requests_total", labels, 1)
+	if !start.IsZero() {
+		elapsed := time.Since(start) //slclint:allow determinism request latency measurement is inherently wall-clock
+		h.core.Metrics.Observe("slcd_request_seconds", `endpoint="`+endpoint+`"`, elapsed.Seconds())
+	}
+	writeJSON(w, status, body)
+}
+
+// codecInfo is one row of the /v1/codecs listing.
+type codecInfo struct {
+	Name             string `json:"name"`
+	NeedsTable       bool   `json:"needsTable,omitempty"`
+	Lossy            bool   `json:"lossy,omitempty"`
+	Base             string `json:"base,omitempty"`
+	Identity         bool   `json:"identity,omitempty"`
+	CompressCycles   int    `json:"compressCycles,omitempty"`
+	DecompressCycles int    `json:"decompressCycles,omitempty"`
+}
+
+// handleCodecs lists every registered codec and the profiles available for
+// table training.
+func (h *Handler) handleCodecs(w http.ResponseWriter, r *http.Request) {
+	var codecs []codecInfo
+	for _, name := range compress.Names() {
+		info, _ := compress.Lookup(name)
+		codecs = append(codecs, codecInfo{
+			Name:             name,
+			NeedsTable:       info.NeedsTable,
+			Lossy:            info.Lossy,
+			Base:             info.Base,
+			Identity:         info.Identity,
+			CompressCycles:   info.CompressCycles,
+			DecompressCycles: info.DecompressCycles,
+		})
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Codecs   []codecInfo `json:"codecs"`
+		Profiles []string    `json:"profiles"`
+	}{codecs, workloadNames()})
+}
+
+// handleHealthz reports liveness: 503 once draining starts, so load
+// balancers stop routing to an instance that will refuse the work.
+func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if h.core.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics renders the Prometheus text exposition.
+func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	h.core.Metrics.WriteText(w, h.core.Gauges())
+}

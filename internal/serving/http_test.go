@@ -1,0 +1,211 @@
+package serving
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, core *Core) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(core, time.Minute))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postJSON(t *testing.T, url string, req interface{}) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out.Bytes()
+}
+
+func TestHTTPCompressDecompressRoundTrip(t *testing.T) {
+	srv := newTestServer(t, newTestCore(0))
+	data := testData(4)
+	status, body := postJSON(t, srv.URL+"/v1/compress", &CompressRequest{Codec: "bdi", Data: data})
+	if status != http.StatusOK {
+		t.Fatalf("compress: %d: %s", status, body)
+	}
+	var cres CompressResponse
+	if err := json.Unmarshal(body, &cres); err != nil {
+		t.Fatal(err)
+	}
+	status, body = postJSON(t, srv.URL+"/v1/decompress", &DecompressRequest{Codec: "bdi", Blocks: cres.Blocks})
+	if status != http.StatusOK {
+		t.Fatalf("decompress: %d: %s", status, body)
+	}
+	var dres DecompressResponse
+	if err := json.Unmarshal(body, &dres); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dres.Data, data) {
+		t.Fatal("HTTP round trip is not byte-identical")
+	}
+}
+
+func TestHTTPStatusMapping(t *testing.T) {
+	core := newTestCore(1)
+	srv := newTestServer(t, core)
+
+	// Caller mistakes are 400s with a JSON error body.
+	status, body := postJSON(t, srv.URL+"/v1/compress", &CompressRequest{Codec: "no-such", Data: testData(1)})
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown codec: %d, want 400", status)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+		t.Fatalf("error body %q is not the JSON envelope", body)
+	}
+	if !strings.Contains(eb.Error, "available") {
+		t.Fatalf("error %q does not list the available codecs", eb.Error)
+	}
+
+	// Undecodable JSON is a 400, not a hang or a 500.
+	resp, err := http.Post(srv.URL+"/v1/compress", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: %d, want 400", resp.StatusCode)
+	}
+
+	// Wrong method is a 405 with Allow.
+	resp, err = http.Get(srv.URL + "/v1/compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != http.MethodPost {
+		t.Fatalf("GET on compress: %d Allow=%q, want 405 POST", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+
+	// A saturated core answers 429.
+	release, err := core.acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _ = postJSON(t, srv.URL+"/v1/compress", &CompressRequest{Codec: "bdi", Data: testData(1)})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("saturated: %d, want 429", status)
+	}
+	release()
+
+	// A draining core answers 503 on work and on healthz.
+	core.StartDrain()
+	status, _ = postJSON(t, srv.URL+"/v1/compress", &CompressRequest{Codec: "bdi", Data: testData(1)})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("draining: %d, want 503", status)
+	}
+}
+
+func TestHTTPHealthzFlipsOnDrain(t *testing.T) {
+	core := newTestCore(0)
+	srv := newTestServer(t, core)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while serving: %d, want 200", resp.StatusCode)
+	}
+	core.StartDrain()
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestHTTPCodecsListing(t *testing.T) {
+	srv := newTestServer(t, newTestCore(0))
+	resp, err := http.Get(srv.URL + "/v1/codecs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var listing struct {
+		Codecs   []codecInfo `json:"codecs"`
+		Profiles []string    `json:"profiles"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool)
+	for _, c := range listing.Codecs {
+		names[c.Name] = true
+	}
+	if !names["e2mc"] || !names["bdi"] {
+		t.Fatalf("codec listing %v lacks the registry entries", names)
+	}
+	if len(listing.Profiles) == 0 {
+		t.Fatal("no training profiles listed")
+	}
+}
+
+func TestHTTPMetricsExposition(t *testing.T) {
+	core := newTestCore(0)
+	srv := newTestServer(t, core)
+	if status, body := postJSON(t, srv.URL+"/v1/compress", &CompressRequest{Codec: "bdi", Data: testData(1)}); status != http.StatusOK {
+		t.Fatalf("compress: %d: %s", status, body)
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`slcd_requests_total{endpoint="compress",code="200"} 1`,
+		`slcd_request_seconds_count{endpoint="compress"} 1`,
+		"slcd_inflight_limit",
+		"slcd_table_retrains_total 0",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("/metrics lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestHTTPRequestTimeoutIs504 pins the per-request deadline: work that
+// cannot finish inside the handler timeout maps to 504, not a hung
+// connection.
+func TestHTTPRequestTimeoutIs504(t *testing.T) {
+	core := newTestCore(0)
+	srv := httptest.NewServer(NewHandler(core, time.Nanosecond))
+	defer srv.Close()
+	status, body := postJSON(t, srv.URL+"/v1/compress", &CompressRequest{Codec: "bdi", Data: testData(256)})
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("got %d (%s), want 504", status, body)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil || !strings.Contains(eb.Error, "timeout") {
+		t.Fatalf("error body %q does not explain the timeout", body)
+	}
+}

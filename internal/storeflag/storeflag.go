@@ -19,26 +19,29 @@ type Flags struct {
 }
 
 // Register adds -store and -store-clear to the default flag set.
-func Register() *Flags {
+func Register() *Flags { return RegisterOn(flag.CommandLine) }
+
+// RegisterOn adds -store and -store-clear to fs, for binaries built on
+// their own flag.FlagSet (the testable `run(args, ...)` pattern).
+func RegisterOn(fs *flag.FlagSet) *Flags {
 	return &Flags{
-		dir: flag.String("store", "",
+		dir: fs.String("store", "",
 			"persist memoised results in this directory (content-addressed; empty = off)"),
-		clear: flag.Bool("store-clear", false,
+		clear: fs.Bool("store-clear", false,
 			"empty the -store directory before running"),
 	}
 }
 
-// Attach opens the store named by -store (if any), clears it when
-// -store-clear was given, and attaches it to the runner. It returns the
-// store (nil when persistence is off) for stats reporting.
-func (f *Flags) Attach(r *experiments.Runner) (*resultstore.Store, error) {
+// Open opens the store named by -store (if any) and clears it when
+// -store-clear was given. It returns nil when persistence is off.
+func (f *Flags) Open(opts resultstore.Options) (*resultstore.Store, error) {
 	if *f.dir == "" {
 		if *f.clear {
 			return nil, fmt.Errorf("-store-clear needs -store")
 		}
 		return nil, nil
 	}
-	s, err := resultstore.Open(*f.dir, resultstore.Options{})
+	s, err := resultstore.Open(*f.dir, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -46,6 +49,16 @@ func (f *Flags) Attach(r *experiments.Runner) (*resultstore.Store, error) {
 		if err := s.Clear(); err != nil {
 			return nil, err
 		}
+	}
+	return s, nil
+}
+
+// Attach opens the store (see Open) and attaches it to the runner. It
+// returns the store (nil when persistence is off) for stats reporting.
+func (f *Flags) Attach(r *experiments.Runner) (*resultstore.Store, error) {
+	s, err := f.Open(resultstore.Options{})
+	if err != nil || s == nil {
+		return nil, err
 	}
 	r.Store = s
 	return s, nil

@@ -76,7 +76,7 @@ func ByName(name string) (Workload, error) {
 			return w, nil
 		}
 	}
-	return nil, fmt.Errorf("workloads: unknown benchmark %q", name)
+	return nil, fmt.Errorf("workloads: unknown benchmark %q (available: %v)", name, Names())
 }
 
 // Names lists the registry names in order.
