@@ -20,10 +20,12 @@
 //
 // -matrix NAME runs a named subset of the evaluation matrix (registered in
 // internal/experiments; -list-matrix prints the set with descriptions) —
-// e.g. `smoke` is CI's every-push slice and `new-codecs` covers the
-// post-paper codec families (lz4b, zcd). The text output is one line per
-// cell; with -json the subset is emitted as a trajectory like any other
-// target.
+// e.g. `smoke` is CI's every-push slice, `new-codecs` covers the post-paper
+// codec families (lz4b, zcd) and `float-workloads` runs the HPC float fields
+// under the sz error-bounded family against lossless comparators. -bound
+// overrides the error bound of any error-bounded (sz) cells in the selected
+// subset. The text output is one line per cell; with -json the subset is
+// emitted as a trajectory like any other target.
 //
 // -store DIR persists memoised results (golden runs, entropy tables, cell
 // measurements) to a content-addressed store in DIR; a second identical
@@ -78,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		table     = fs.Int("table", 0, "regenerate one table (1, 2, 3)")
 		ablations = fs.Bool("ablations", false, "run the ablation study")
 		matrix    = fs.String("matrix", "", "run a named cell subset of the evaluation matrix (see -list-matrix)")
+		bound     = fs.Float64("bound", 0, "override the error bound of error-bounded cells in the selected matrix (0 = keep each cell's bound)")
 		listMat   = fs.Bool("list-matrix", false, "list registered matrix subsets and exit")
 		out       = fs.String("out", "", "write output to this file instead of stdout")
 		parallel  = fs.Int("parallel", 1, "evaluation workers (0 = all cores, 1 = serial)")
@@ -194,6 +197,15 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		if merr != nil {
 			return fail(merr)
 		}
+	}
+	// -bound rewrites error-bounded cells to the requested bound; lossless
+	// and threshold-lossy cells are untouched, so it is a no-op on subsets
+	// without sz cells.
+	if full, err = experiments.WithErrorBound(full, *bound); err != nil {
+		return fail(err)
+	}
+	if comp, err = experiments.WithErrorBound(comp, *bound); err != nil {
+		return fail(err)
 	}
 
 	// Warm the runner's memo across a worker pool; the output below then

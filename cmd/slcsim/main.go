@@ -44,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		codec     = fs.String("codec", "tslc-opt", "codec registry name (see -list-codecs)")
 		magBytes  = fs.Int("mag", 32, "memory access granularity in bytes (16, 32, 64)")
 		threshold = fs.Int("threshold", 16, "lossy threshold in bytes (lossy codecs only)")
+		bound     = fs.Float64("bound", 0, "absolute error bound (error-bounded codecs only; 0 = codec default)")
 		parallel  = fs.Int("parallel", 1, "worker goroutines for block compression (0 = all cores)")
 		simw      = fs.Int("simworkers", 1, "worker goroutines for the sharded timing simulator (0 = all cores, 1 = serial engine); results are identical either way")
 		list      = fs.Bool("list", false, "list benchmarks and exit")
@@ -65,7 +66,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *list {
-		for _, w := range workloads.Registry() {
+		for _, w := range workloads.All() {
 			in := w.Info()
 			fmt.Fprintf(stdout, "%-6s %-28s %-16s %s, %d approx regions\n",
 				in.Name, in.Short, in.Input, in.Metric, in.AR)
@@ -84,7 +85,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
-	cfg, err := experiments.NamedConfig(*codec, compress.MAG(*magBytes), *threshold*8)
+	cfg, err := experiments.NamedConfig(*codec, compress.MAG(*magBytes), *threshold*8, *bound)
 	if err != nil {
 		return fail(err)
 	}

@@ -50,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		codec     = fs.String("codec", "e2mc", "codec registry name")
 		magBytes  = fs.Int("mag", 32, "memory access granularity in bytes")
 		threshold = fs.Int("threshold", 16, "lossy threshold in bytes (lossy codecs only)")
+		bound     = fs.Float64("bound", 0, "absolute error bound (error-bounded codecs only; 0 = codec default)")
 		parallel  = fs.Int("parallel", 1, "worker goroutines for block compression (0 = all cores)")
 		simulate  = fs.Bool("sim", false, "also replay the trace through the timing simulator")
 		simw      = fs.Int("simworkers", 1, "worker goroutines for the sharded timing simulator (0 = all cores, 1 = serial engine)")
@@ -76,7 +77,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	mag := compress.MAG(*magBytes)
-	cfg, err := experiments.NamedConfig(*codec, mag, *threshold*8)
+	cfg, err := experiments.NamedConfig(*codec, mag, *threshold*8, *bound)
 	if err != nil {
 		return fail(err)
 	}

@@ -13,6 +13,7 @@ import (
 	_ "repro/internal/compress/fpc"
 	_ "repro/internal/compress/hycomp"
 	_ "repro/internal/compress/lz4b"
+	_ "repro/internal/compress/sz"
 	_ "repro/internal/compress/zcd"
 	_ "repro/internal/slc"
 )

@@ -3,6 +3,7 @@ package compress_test
 import (
 	"bytes"
 	"encoding/binary"
+	"math"
 	"sort"
 	"testing"
 
@@ -28,6 +29,7 @@ var fuzzFamilies = map[string][]string{
 	"word":    {"bdi", "bpc", "cpack", "fpc", "lz4b", "zcd"},
 	"entropy": {"e2mc", "hycomp", "raw"},              // table-driven + identity
 	"slc":     {"tslc-simp", "tslc-pred", "tslc-opt"}, // lossy TSLC variants
+	"bounded": {"sz-lorenzo", "sz-linear"},            // error-bounded float codecs
 }
 
 func TestFuzzFamiliesCoverRegistry(t *testing.T) {
@@ -223,3 +225,126 @@ func fuzzFamily(f *testing.F, family string) {
 func FuzzRoundTripWord(f *testing.F)    { fuzzFamily(f, "word") }
 func FuzzRoundTripEntropy(f *testing.F) { fuzzFamily(f, "entropy") }
 func FuzzRoundTripSLC(f *testing.F)     { fuzzFamily(f, "slc") }
+
+// checkBoundedRoundTrip asserts the error-bounded contract on one codec at
+// one bound: every reconstructed float32 within the bound, non-finite lanes
+// bit-exact, sizes exact (SizeOnly agrees whether or not the encoding is
+// lossy), encoding deterministic, and the Syncer fast path equivalent to
+// Compress followed by Decompress.
+func checkBoundedRoundTrip(t *testing.T, name string, bound float64, block []byte) {
+	t.Helper()
+	info, ok := compress.Lookup(name)
+	if !ok {
+		t.Fatalf("codec %q not registered", name)
+	}
+	if !info.LossyBounded {
+		t.Fatalf("codec %q is in the bounded family without the LossyBounded trait", name)
+	}
+	c, err := info.New(compress.BuildContext{MAG: compress.MAG32, ErrorBound: bound})
+	if err != nil {
+		t.Fatalf("%s: build at bound %g: %v", name, bound, err)
+	}
+	enc := c.Compress(block)
+	if enc.Bits <= 0 || enc.Bits > compress.BlockBits {
+		t.Fatalf("%s: compressed size %d bits outside (0, %d]", name, enc.Bits, compress.BlockBits)
+	}
+	if len(enc.Payload) < enc.Bytes() {
+		t.Fatalf("%s: payload %d bytes shorter than encoded size %d bytes", name, len(enc.Payload), enc.Bytes())
+	}
+	if got := c.(compress.SizeOnly).CompressedBits(block); got != enc.Bits {
+		t.Fatalf("%s: CompressedBits %d != Compress %d", name, got, enc.Bits)
+	}
+	enc2 := c.Compress(block)
+	if enc2.Bits != enc.Bits || enc2.Lossy != enc.Lossy || !bytes.Equal(enc2.Payload, enc.Payload) {
+		t.Fatalf("%s: two encodes of the same block differ", name)
+	}
+	dst := make([]byte, compress.BlockSize)
+	if err := c.Decompress(enc, dst); err != nil {
+		t.Fatalf("%s: decompress own output: %v", name, err)
+	}
+	if !enc.Lossy && !bytes.Equal(dst, block) {
+		t.Fatalf("%s: non-lossy encoding does not round-trip exactly", name)
+	}
+	if diff := maxFloatDiff(block, dst); diff > bound {
+		t.Fatalf("%s: reconstruction off by %g at bound %g\n in: %x\nout: %x",
+			name, diff, bound, block, dst)
+	}
+	synced := make([]byte, compress.BlockSize)
+	copy(synced, block)
+	bits, lossy := c.(compress.Syncer).SyncBlock(synced)
+	if bits != enc.Bits || lossy != enc.Lossy {
+		t.Fatalf("%s: SyncBlock (%d, %v) disagrees with Compress (%d, %v)",
+			name, bits, lossy, enc.Bits, enc.Lossy)
+	}
+	if lossy && !bytes.Equal(synced, dst) {
+		t.Fatalf("%s: SyncBlock write-back differs from Decompress output", name)
+	}
+	if !lossy && !bytes.Equal(synced, block) {
+		t.Fatalf("%s: non-lossy SyncBlock mutated the block", name)
+	}
+}
+
+// addBoundedSeeds extends the shared corpus with float-specific blocks: the
+// IEEE-754 special values that must pass through bit-exact (NaN, ±Inf,
+// denormals), smooth float ramps that quantize everywhere, and mixes of
+// unpredictable and smooth lanes that walk the encoded size toward the
+// inclusive 1024-bit raw-fallback boundary.
+func addBoundedSeeds(f *testing.F) {
+	addSeeds(f)
+	var specials [compress.WordsPerBlock]uint32
+	patterns := []uint32{
+		0x7FC00000,          // quiet NaN
+		0x7F800000,          // +Inf
+		0xFF800000,          // −Inf
+		0x00000001,          // smallest denormal
+		0x807FFFFF,          // largest negative denormal
+		0x7F7FFFFF,          // MaxFloat32
+		math.Float32bits(0), // ±0 pair with the next entry
+		0x80000000,
+	}
+	for i := range specials {
+		specials[i] = patterns[i%len(patterns)]
+	}
+	block := make([]byte, compress.BlockSize)
+	compress.PutWords(block, specials)
+	f.Add(append([]byte(nil), block...))
+	// Smooth ramp: tiny deltas, the all-quantized best case.
+	var ramp [compress.WordsPerBlock]uint32
+	for i := range ramp {
+		ramp[i] = math.Float32bits(1 + float32(i)*1e-4)
+	}
+	compress.PutWords(block, ramp)
+	f.Add(append([]byte(nil), block...))
+	// k unpredictable magnitudes then a smooth tail: sweeps the literal
+	// count through the raw-fallback boundary.
+	for _, k := range []int{28, 29, 30, 31, 32} {
+		var words [compress.WordsPerBlock]uint32
+		x := uint32(0x2545F491)
+		for i := range words {
+			if i < k {
+				x ^= x << 13
+				x ^= x >> 17
+				x ^= x << 5
+				words[i] = math.Float32bits(float32(int32(x)) * 1e8)
+			} else {
+				words[i] = math.Float32bits(float32(i))
+			}
+		}
+		compress.PutWords(block, words)
+		f.Add(append([]byte(nil), block...))
+	}
+}
+
+// FuzzBoundedRoundTrip drives the error-bounded family across three decades
+// of bounds per input.
+func FuzzBoundedRoundTrip(f *testing.F) {
+	addBoundedSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		block := fuzzBlock(data)
+		for _, name := range fuzzFamilies["bounded"] {
+			for _, bound := range []float64{1e-1, 1e-3, 1e-6} {
+				checkBoundedRoundTrip(t, name, bound, block)
+			}
+		}
+	})
+}

@@ -30,6 +30,8 @@ func TestReadmeCodecTable(t *testing.T) {
 		switch {
 		case info.Identity:
 			wantType = "identity"
+		case info.LossyBounded:
+			wantType = "lossy-bounded"
 		case info.Lossy:
 			wantType = "lossy"
 		}

@@ -32,6 +32,12 @@ type BuildContext struct {
 	// extra bits a lossy codec may approximate away, paper §III-B). Zero
 	// selects the codec's default; lossless codecs ignore it.
 	ThresholdBits int
+
+	// ErrorBound is the absolute error bound for error-bounded lossy codecs
+	// (Info.LossyBounded): every value the codec reconstructs must satisfy
+	// |reconstructed − original| ≤ ErrorBound. Zero selects the codec's
+	// default bound; codecs without the trait ignore it.
+	ErrorBound float64
 }
 
 // Factory builds one codec instance from a build context.
@@ -51,6 +57,12 @@ type Info struct {
 	// codec serves only safe-to-approximate regions; exact regions fall back
 	// to the codec named by Base.
 	Lossy bool
+
+	// LossyBounded marks lossy codecs that honour an absolute error bound
+	// (BuildContext.ErrorBound): every reconstructed value is within the
+	// bound of the original, rather than the TSLC contract of a bounded
+	// approximated symbol span. Implies Lossy.
+	LossyBounded bool
 
 	// Base is the registry name of the lossless codec that serves exact
 	// regions when this codec is lossy ("e2mc" for the TSLC variants).

@@ -62,13 +62,14 @@ func testBlocks(n int) [][]byte {
 
 // TestRegistryComplete pins the registered codec set: the seven techniques
 // of the paper's evaluation (the three TSLC variants sharing the slc
-// package), the raw baseline, and the two post-paper families added through
-// the registry (lz4b, zcd). A new codec package extends this by a Register
-// call.
+// package), the raw baseline, and the post-paper families added through
+// the registry (lz4b, zcd, and the error-bounded sz pair). A new codec
+// package extends this by a Register call.
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"bdi", "bpc", "cpack", "e2mc", "fpc", "hycomp", "lz4b",
-		"raw", "tslc-opt", "tslc-pred", "tslc-simp", "zcd",
+		"raw", "sz-linear", "sz-lorenzo",
+		"tslc-opt", "tslc-pred", "tslc-simp", "zcd",
 	}
 	got := compress.Names()
 	if len(got) != len(want) {
@@ -126,6 +127,19 @@ func TestRegistryRoundTrip(t *testing.T) {
 					}
 					continue
 				}
+				if info.LossyBounded {
+					// Error-bounded contract: every reconstructed float32
+					// within the codec's bound of the original.
+					bounded, ok := c.(interface{ Bound() float64 })
+					if !ok {
+						t.Fatalf("LossyBounded codec %s exposes no Bound()", c.Name())
+					}
+					if diff := maxFloatDiff(block, dst); diff > bounded.Bound() {
+						t.Fatalf("block %d: bounded-lossy encoding off by %g, bound is %g",
+							i, diff, bounded.Bound())
+					}
+					continue
+				}
 				if diff := symbolDiffs(block, dst); diff > slc.MaxApproxSymbols {
 					t.Fatalf("block %d: lossy encoding changed %d symbols, bound is %d",
 						i, diff, slc.MaxApproxSymbols)
@@ -133,6 +147,27 @@ func TestRegistryRoundTrip(t *testing.T) {
 			}
 		})
 	}
+}
+
+// maxFloatDiff returns the largest |a−b| over the blocks' float32 lanes.
+// Non-finite lanes must pass through bit-exact and count as an infinite
+// difference when they do not.
+func maxFloatDiff(a, b []byte) float64 {
+	wa, wb := compress.Words(a), compress.Words(b)
+	max := 0.0
+	for i := range wa {
+		va, vb := math.Float32frombits(wa[i]), math.Float32frombits(wb[i])
+		if math.IsNaN(float64(va)) || math.IsInf(float64(va), 0) {
+			if wa[i] != wb[i] {
+				return math.Inf(1)
+			}
+			continue
+		}
+		if d := math.Abs(float64(vb) - float64(va)); d > max {
+			max = d
+		}
+	}
+	return max
 }
 
 // symbolDiffs counts differing 16-bit symbols between two blocks.
@@ -160,6 +195,11 @@ func TestRegistryBuildErrors(t *testing.T) {
 			t.Errorf("%s built without a trained table", name)
 		}
 	}
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := compress.Build("sz-lorenzo", compress.BuildContext{ErrorBound: bad}); err == nil {
+			t.Errorf("sz-lorenzo built with invalid bound %v", bad)
+		}
+	}
 }
 
 // TestRegistryTraits pins the trait wiring the runner depends on.
@@ -180,5 +220,14 @@ func TestRegistryTraits(t *testing.T) {
 	e, _ := compress.Lookup("e2mc")
 	if e.CompressCycles != e2mc.CompressCycles || e.DecompressCycles != e2mc.DecompressCycles {
 		t.Errorf("e2mc latency traits %d/%d", e.CompressCycles, e.DecompressCycles)
+	}
+	for _, name := range []string{"sz-lorenzo", "sz-linear"} {
+		info, ok := compress.Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		if !info.Lossy || !info.LossyBounded || info.Base != "fpc" || info.NeedsTable {
+			t.Errorf("%s traits wrong: %+v", name, info)
+		}
 	}
 }

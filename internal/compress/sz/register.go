@@ -1,0 +1,26 @@
+package sz
+
+import "repro/internal/compress"
+
+func init() {
+	for _, p := range []Predictor{Lorenzo, Linear} {
+		p := p
+		compress.Register("sz-"+p.String(), compress.Info{
+			New: func(ctx compress.BuildContext) (compress.Codec, error) {
+				return New(p, ctx.ErrorBound)
+			},
+			Lossy:        true,
+			LossyBounded: true,
+			// Exact regions fall back to FPC: like sz it targets float
+			// data, and it is table-free, so the bounded pair builds
+			// without a trained entropy table.
+			Base: "fpc",
+			// Predict → quantize → static-codebook encode is a short
+			// per-word pipeline; decode replays the same chain. The
+			// latencies bracket FPC's pattern pipeline (8/5) from above to
+			// account for the dependent reconstruction chain.
+			CompressCycles:   12,
+			DecompressCycles: 9,
+		})
+	}
+}

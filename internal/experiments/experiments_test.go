@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -254,23 +255,56 @@ func TestRunAllReportsCellErrors(t *testing.T) {
 }
 
 func TestNamedConfig(t *testing.T) {
-	cfg, err := NamedConfig("tslc-opt", compress.MAG32, 16*8)
+	cfg, err := NamedConfig("tslc-opt", compress.MAG32, 16*8, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cfg.Name != "TSLC-OPT@32B/t16B" || cfg.Codec != "tslc-opt" || cfg.ThresholdBits != 128 {
 		t.Errorf("NamedConfig lossy = %+v", cfg)
 	}
-	cfg, err = NamedConfig("bdi", compress.MAG64, 16*8)
+	cfg, err = NamedConfig("bdi", compress.MAG64, 16*8, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cfg.Name != "BDI@64B" || cfg.ThresholdBits != 0 {
 		t.Errorf("NamedConfig lossless = %+v", cfg)
 	}
-	if _, err := NamedConfig("nope", compress.MAG32, 0); err == nil {
+	if _, err := NamedConfig("nope", compress.MAG32, 0, 0); err == nil {
 		t.Error("NamedConfig accepted an unknown codec")
 	}
+	cfg, err = NamedConfig("sz-lorenzo", compress.MAG32, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "SZ-LORENZO@32B/eb1e-03" || cfg.ErrorBound != DefaultErrorBound || cfg.ThresholdBits != 0 {
+		t.Errorf("NamedConfig bounded default = %+v", cfg)
+	}
+	cfg, err = NamedConfig("sz-linear", compress.MAG32, 0, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "SZ-LINEAR@32B/eb1e-05" || cfg.ErrorBound != 1e-5 {
+		t.Errorf("NamedConfig bounded explicit = %+v", cfg)
+	}
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := NamedConfig("sz-lorenzo", compress.MAG32, 0, bad); err == nil {
+			t.Errorf("NamedConfig accepted bound %v", bad)
+		}
+	}
+	if BoundedConfig("sz-lorenzo", compress.MAG32, 0) != cfgMust(t, "sz-lorenzo", 0) {
+		t.Error("BoundedConfig(0) differs from NamedConfig default")
+	}
+}
+
+// cfgMust is NamedConfig for bounded codecs at 32 B MAG, failing the test on
+// error.
+func cfgMust(t *testing.T, codec string, bound float64) Config {
+	t.Helper()
+	cfg, err := NamedConfig(codec, compress.MAG32, 0, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
 }
 
 func TestConfigNames(t *testing.T) {

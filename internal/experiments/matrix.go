@@ -87,10 +87,10 @@ func MatrixCells(name string) (full, comp []Cell, err error) {
 	return full, comp, nil
 }
 
-// workloadByName scans the workload registry; a missing name yields no cells
-// rather than an error, so subsets stay total functions.
+// workloadByName scans the workload registries (paper and float); a missing
+// name yields no cells rather than an error, so subsets stay total functions.
 func workloadByName(name string) (workloads.Workload, bool) {
-	for _, w := range workloads.Registry() {
+	for _, w := range workloads.All() {
 		if w.Info().Name == name {
 			return w, true
 		}
@@ -98,10 +98,45 @@ func workloadByName(name string) (workloads.Workload, bool) {
 	return nil, false
 }
 
+// WithErrorBound returns a copy of cells with every error-bounded cell's
+// configuration rebuilt at the given bound; bound 0 keeps each cell's own.
+// Lossless and threshold-lossy cells pass through untouched, so the helper
+// can be applied to any subset (slcbench's -bound flag applies it to the
+// selected matrix).
+func WithErrorBound(cells []Cell, bound float64) ([]Cell, error) {
+	if bound == 0 {
+		return cells, nil
+	}
+	out := make([]Cell, len(cells))
+	for i, c := range cells {
+		out[i] = c
+		info, ok := compress.Lookup(c.Config.Codec)
+		if !ok || !info.LossyBounded {
+			continue
+		}
+		cfg, err := NamedConfig(c.Config.Codec, c.Config.MAG, c.Config.ThresholdBits, bound)
+		if err != nil {
+			return nil, err
+		}
+		out[i].Config = cfg
+	}
+	return out, nil
+}
+
 // NewCodecNames are the codec families added after the paper's original
 // evaluation set; the new-codecs subset and the README codec table track
 // them.
 var NewCodecNames = []string{"lz4b", "zcd"}
+
+// BoundedCodecNames are the error-bounded scientific-float codec families
+// (the sz predictors); the float-workloads subset and the README codec table
+// track them.
+var BoundedCodecNames = []string{"sz-lorenzo", "sz-linear"}
+
+// FloatComparatorNames are the lossless codecs the float-workloads subset
+// runs beside the sz family: the float-specialised fpc, the entropy coder
+// and the byte-oriented lz4b.
+var FloatComparatorNames = []string{"fpc", "e2mc", "lz4b"}
 
 func init() {
 	RegisterMatrix(Matrix{
@@ -140,6 +175,27 @@ func init() {
 				for _, name := range NewCodecNames {
 					full = append(full, Cell{tp, BaselineConfig(name, compress.MAG32)})
 				}
+			}
+			return full, comp
+		},
+	})
+	RegisterMatrix(Matrix{
+		Name: "float-workloads",
+		Desc: "the HPC float fields under the sz error-bounded family at the default bound vs lossless comparators, a bound sweep on HPC-S and one timed HPC-S cell",
+		Cells: func() (full, comp []Cell) {
+			for _, w := range workloads.FloatRegistry() {
+				for _, name := range BoundedCodecNames {
+					comp = append(comp, Cell{w, BoundedConfig(name, compress.MAG32, 0)})
+				}
+				for _, name := range FloatComparatorNames {
+					comp = append(comp, Cell{w, BaselineConfig(name, compress.MAG32)})
+				}
+			}
+			if s, ok := workloadByName("HPC-S"); ok {
+				for _, bound := range []float64{1e-2, 1e-4} {
+					comp = append(comp, Cell{s, BoundedConfig("sz-lorenzo", compress.MAG32, bound)})
+				}
+				full = append(full, Cell{s, BoundedConfig("sz-lorenzo", compress.MAG32, 0)})
 			}
 			return full, comp
 		},

@@ -19,6 +19,7 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"strings"
 	"sync"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/compress"
 	_ "repro/internal/compress/all" // register every codec
 	"repro/internal/compress/e2mc"
+	"repro/internal/compress/sz"
 	"repro/internal/flight"
 	"repro/internal/gpu/device"
 	"repro/internal/gpu/sim"
@@ -52,13 +54,17 @@ type Config struct {
 	MAG compress.MAG
 	// ThresholdBits is the lossy threshold (lossy codecs only).
 	ThresholdBits int
+	// ErrorBound is the absolute error bound (error-bounded codecs only).
+	ErrorBound float64
 }
 
 // NamedConfig builds a configuration from a codec registry name, validating
 // the name against the registered set. thresholdBits applies to lossy
-// codecs only; a non-positive value selects the paper's default, so the
-// display name always matches the threshold the codec actually runs at.
-func NamedConfig(codec string, mag compress.MAG, thresholdBits int) (Config, error) {
+// codecs only and errorBound to error-bounded codecs only; a non-positive
+// threshold selects the paper's default and a zero bound the codec's
+// default, so the display name always matches the parameters the codec
+// actually runs at.
+func NamedConfig(codec string, mag compress.MAG, thresholdBits int, errorBound float64) (Config, error) {
 	codec = strings.ToLower(codec)
 	info, ok := compress.Lookup(codec)
 	if !ok {
@@ -70,13 +76,23 @@ func NamedConfig(codec string, mag compress.MAG, thresholdBits int) (Config, err
 		return Config{}, fmt.Errorf("experiments: invalid MAG %d (want a power of two dividing %d)", mag, compress.BlockSize)
 	}
 	cfg := Config{Codec: codec, MAG: mag}
-	if info.Lossy {
+	switch {
+	case info.LossyBounded:
+		if errorBound == 0 {
+			errorBound = DefaultErrorBound
+		}
+		if math.IsNaN(errorBound) || math.IsInf(errorBound, 0) || errorBound < 0 {
+			return Config{}, fmt.Errorf("experiments: error bound must be positive and finite, got %v", errorBound)
+		}
+		cfg.ErrorBound = errorBound
+		cfg.Name = fmt.Sprintf("%s@%s/eb%.0e", strings.ToUpper(codec), mag, errorBound)
+	case info.Lossy:
 		if thresholdBits <= 0 {
 			thresholdBits = DefaultThresholdBits
 		}
 		cfg.ThresholdBits = thresholdBits
 		cfg.Name = fmt.Sprintf("%s@%s/t%dB", strings.ToUpper(codec), mag, thresholdBits/8)
-	} else {
+	default:
 		cfg.Name = fmt.Sprintf("%s@%s", strings.ToUpper(codec), mag)
 	}
 	return cfg, nil
@@ -101,6 +117,24 @@ func TSLCConfig(v slc.Variant, mag compress.MAG, thresholdBits int) Config {
 // baseline) by registry name.
 func BaselineConfig(codec string, mag compress.MAG) Config {
 	return Config{Name: fmt.Sprintf("%s@%s", strings.ToUpper(codec), mag), Codec: codec, MAG: mag}
+}
+
+// DefaultErrorBound is the absolute error bound error-bounded cells run at
+// when none is given — the sz family's own default.
+const DefaultErrorBound = sz.DefaultBound
+
+// BoundedConfig returns an error-bounded codec configuration. A zero bound
+// selects DefaultErrorBound.
+func BoundedConfig(codec string, mag compress.MAG, errorBound float64) Config {
+	if errorBound == 0 {
+		errorBound = DefaultErrorBound
+	}
+	return Config{
+		Name:       fmt.Sprintf("%s@%s/eb%.0e", strings.ToUpper(codec), mag, errorBound),
+		Codec:      codec,
+		MAG:        mag,
+		ErrorBound: errorBound,
+	}
 }
 
 // RunResult is everything measured for one workload × configuration.
@@ -212,7 +246,7 @@ func (r *Runner) TableStats() serving.TableStats { return r.tables.Stats() }
 // registry. Identity codecs (the raw baseline) yield a nil pair; lossy
 // codecs additionally build their lossless base for exact regions.
 func (r *Runner) codecs(w workloads.Workload, cfg Config) (lossless, lossy compress.Codec, err error) {
-	return r.tables.Codecs(w, cfg.Codec, cfg.MAG, cfg.ThresholdBits)
+	return r.tables.Codecs(w, cfg.Codec, cfg.MAG, cfg.ThresholdBits, cfg.ErrorBound)
 }
 
 // SimConfig derives the simulator configuration for a compression

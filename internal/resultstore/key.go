@@ -15,7 +15,9 @@ import (
 // any cached computation change: old records then address different keys and
 // are recomputed (and eventually evicted by GC) instead of being trusted.
 // Version 2: e2mc table records moved to wire format 2 (gap-array interval).
-const SchemaVersion = 2
+// Version 3: experiment cell key material gained the ErrorBound field (the
+// sz error-bounded codec family).
+const SchemaVersion = 3
 
 // Key is the content address of one record: SHA-256 over a canonical
 // encoding of the key material plus the store's schema version and code

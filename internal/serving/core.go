@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"strings"
 	"sync"
@@ -137,20 +138,22 @@ func (p codecPair) active() compress.Codec {
 	return p.lossless
 }
 
-// workloadNames returns the registered profile names, for error messages.
+// workloadNames returns the registered profile names (the Table III suite
+// plus the HPC float fields), for error messages.
 func workloadNames() []string {
 	var names []string
-	for _, w := range workloads.Registry() {
+	for _, w := range workloads.All() {
 		names = append(names, w.Info().Name)
 	}
 	return names
 }
 
 // resolve validates a request's codec selection and returns the built pair,
-// memoised per (codec, profile, MAG, threshold) in a singleflight slot — the
-// per-codec builder cache. Table-trained codecs require a profile (a
-// registered workload name) that selects the training corpus.
-func (c *Core) resolve(codec, profile string, magBytes, thresholdBits int) (codecPair, error) {
+// memoised per (codec, profile, MAG, threshold, error bound) in a
+// singleflight slot — the per-codec builder cache. Table-trained codecs
+// require a profile (a registered workload name) that selects the training
+// corpus.
+func (c *Core) resolve(codec, profile string, magBytes, thresholdBits int, errorBound float64) (codecPair, error) {
 	codec = strings.ToLower(strings.TrimSpace(codec))
 	info, ok := compress.Lookup(codec)
 	if !ok {
@@ -166,6 +169,9 @@ func (c *Core) resolve(codec, profile string, magBytes, thresholdBits int) (code
 	if thresholdBits < 0 || thresholdBits > compress.BlockBits {
 		return codecPair{}, badRequest("serving: threshold %d bits out of range [0, %d]", thresholdBits, compress.BlockBits)
 	}
+	if math.IsNaN(errorBound) || math.IsInf(errorBound, 0) || errorBound < 0 {
+		return codecPair{}, badRequest("serving: error bound must be non-negative and finite, got %v", errorBound)
+	}
 	var w workloads.Workload
 	if info.NeedsTable {
 		if profile == "" {
@@ -179,9 +185,9 @@ func (c *Core) resolve(codec, profile string, magBytes, thresholdBits int) (code
 	} else {
 		profile = ""
 	}
-	key := fmt.Sprintf("%s|%s|%d|%d", codec, profile, mag, thresholdBits)
+	key := fmt.Sprintf("%s|%s|%d|%d|%g", codec, profile, mag, thresholdBits, errorBound)
 	return c.codecs.Do(key, func() (codecPair, error) {
-		lossless, lossy, err := c.Tables.Codecs(w, codec, mag, thresholdBits)
+		lossless, lossy, err := c.Tables.Codecs(w, codec, mag, thresholdBits, errorBound)
 		if err != nil {
 			return codecPair{}, err
 		}
@@ -205,11 +211,12 @@ type Block struct {
 // CompressRequest asks for Data, a multiple of 128 bytes, to be compressed
 // block-by-block under one codec configuration.
 type CompressRequest struct {
-	Codec         string `json:"codec"`
-	Profile       string `json:"profile,omitempty"`
-	MAG           int    `json:"mag,omitempty"`
-	ThresholdBits int    `json:"thresholdBits,omitempty"`
-	Data          []byte `json:"data"`
+	Codec         string  `json:"codec"`
+	Profile       string  `json:"profile,omitempty"`
+	MAG           int     `json:"mag,omitempty"`
+	ThresholdBits int     `json:"thresholdBits,omitempty"`
+	ErrorBound    float64 `json:"errorBound,omitempty"`
+	Data          []byte  `json:"data"`
 }
 
 // CompressResponse carries the per-block encodings and the batch ratio.
@@ -226,6 +233,7 @@ type DecompressRequest struct {
 	Profile       string  `json:"profile,omitempty"`
 	MAG           int     `json:"mag,omitempty"`
 	ThresholdBits int     `json:"thresholdBits,omitempty"`
+	ErrorBound    float64 `json:"errorBound,omitempty"`
 	Blocks        []Block `json:"blocks"`
 }
 
@@ -242,11 +250,12 @@ type DecompressResponse struct {
 // pipeline attached to every region sync — the serving twin of an
 // experiment cell's compression pass.
 type EvaluateRequest struct {
-	Codec         string `json:"codec"`
-	Profile       string `json:"profile,omitempty"`
-	MAG           int    `json:"mag,omitempty"`
-	ThresholdBits int    `json:"thresholdBits,omitempty"`
-	Data          []byte `json:"data,omitempty"`
+	Codec         string  `json:"codec"`
+	Profile       string  `json:"profile,omitempty"`
+	MAG           int     `json:"mag,omitempty"`
+	ThresholdBits int     `json:"thresholdBits,omitempty"`
+	ErrorBound    float64 `json:"errorBound,omitempty"`
+	Data          []byte  `json:"data,omitempty"`
 }
 
 // EvaluateResponse is the pipeline's accounting for the evaluated bytes.
@@ -292,7 +301,7 @@ func (c *Core) Compress(ctx context.Context, req *CompressRequest) (*CompressRes
 	if err := checkGeometry(len(req.Data)); err != nil {
 		return nil, err
 	}
-	pair, err := c.resolve(req.Codec, req.Profile, req.MAG, req.ThresholdBits)
+	pair, err := c.resolve(req.Codec, req.Profile, req.MAG, req.ThresholdBits, req.ErrorBound)
 	if err != nil {
 		return nil, err
 	}
@@ -354,7 +363,7 @@ func (c *Core) Decompress(ctx context.Context, req *DecompressRequest) (*Decompr
 	if len(req.Blocks) == 0 {
 		return nil, badRequest("serving: no blocks")
 	}
-	pair, err := c.resolve(req.Codec, req.Profile, req.MAG, req.ThresholdBits)
+	pair, err := c.resolve(req.Codec, req.Profile, req.MAG, req.ThresholdBits, req.ErrorBound)
 	if err != nil {
 		return nil, err
 	}
@@ -404,7 +413,7 @@ func (c *Core) Evaluate(ctx context.Context, req *EvaluateRequest) (*EvaluateRes
 		return nil, err
 	}
 	defer release()
-	pair, err := c.resolve(req.Codec, req.Profile, req.MAG, req.ThresholdBits)
+	pair, err := c.resolve(req.Codec, req.Profile, req.MAG, req.ThresholdBits, req.ErrorBound)
 	if err != nil {
 		return nil, err
 	}

@@ -139,6 +139,7 @@ type codecInfo struct {
 	Name             string `json:"name"`
 	NeedsTable       bool   `json:"needsTable,omitempty"`
 	Lossy            bool   `json:"lossy,omitempty"`
+	LossyBounded     bool   `json:"lossyBounded,omitempty"`
 	Base             string `json:"base,omitempty"`
 	Identity         bool   `json:"identity,omitempty"`
 	CompressCycles   int    `json:"compressCycles,omitempty"`
@@ -155,6 +156,7 @@ func (h *Handler) handleCodecs(w http.ResponseWriter, r *http.Request) {
 			Name:             name,
 			NeedsTable:       info.NeedsTable,
 			Lossy:            info.Lossy,
+			LossyBounded:     info.LossyBounded,
 			Base:             info.Base,
 			Identity:         info.Identity,
 			CompressCycles:   info.CompressCycles,

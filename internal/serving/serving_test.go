@@ -3,8 +3,10 @@ package serving
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"testing"
 
@@ -59,6 +61,48 @@ func TestCompressDecompressRoundTripEveryCodec(t *testing.T) {
 				t.Fatal("lossless round trip is not byte-identical")
 			}
 		})
+	}
+}
+
+// TestBoundedCodecServingHonoursBound pushes a float field through an sz
+// compress/decompress request pair with an explicit error bound — the
+// codec-profile path cmd/slcd exposes — and checks every reconstructed value
+// against the bound.
+func TestBoundedCodecServingHonoursBound(t *testing.T) {
+	core := newTestCore(0)
+	const bound = 1e-4
+	const n = 8 * compress.BlockSize / 4
+	data := make([]byte, n*4)
+	for i := 0; i < n; i++ {
+		v := float32(math.Sin(float64(i) / 50))
+		binary.LittleEndian.PutUint32(data[i*4:], math.Float32bits(v))
+	}
+	cres, err := core.Compress(context.Background(), &CompressRequest{
+		Codec: "sz-lorenzo", Data: data, ErrorBound: bound,
+	})
+	if err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	dres, err := core.Decompress(context.Background(), &DecompressRequest{
+		Codec: "sz-lorenzo", Blocks: cres.Blocks, ErrorBound: bound,
+	})
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if len(dres.Data) != len(data) {
+		t.Fatalf("got %d bytes back, want %d", len(dres.Data), len(data))
+	}
+	for i := 0; i < n; i++ {
+		o := math.Float32frombits(binary.LittleEndian.Uint32(data[i*4:]))
+		g := math.Float32frombits(binary.LittleEndian.Uint32(dres.Data[i*4:]))
+		if diff := math.Abs(float64(g) - float64(o)); diff > bound {
+			t.Fatalf("value %d: |%g − %g| = %g exceeds bound %g", i, g, o, diff, bound)
+		}
+	}
+	if _, err := core.Compress(context.Background(), &CompressRequest{
+		Codec: "sz-lorenzo", Data: data, ErrorBound: -1,
+	}); err == nil {
+		t.Fatal("compress accepted a negative error bound")
 	}
 }
 
@@ -419,11 +463,11 @@ func TestMetricsRenderDeterministically(t *testing.T) {
 // layer: one flight slot per distinct configuration.
 func TestResolveMemoisesPairs(t *testing.T) {
 	core := newTestCore(0)
-	a, err := core.resolve("bdi", "", 0, 0)
+	a, err := core.resolve("bdi", "", 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := core.resolve(" BDI ", "", 32, 0)
+	b, err := core.resolve(" BDI ", "", 32, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -432,6 +476,19 @@ func TestResolveMemoisesPairs(t *testing.T) {
 	}
 	if core.codecs.Len() != 1 {
 		t.Fatalf("%d cached pairs, want 1", core.codecs.Len())
+	}
+	// A distinct error bound is a distinct configuration.
+	if _, err := core.resolve("sz-lorenzo", "", 0, 0, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.resolve("sz-lorenzo", "", 0, 0, 1e-2); err != nil {
+		t.Fatal(err)
+	}
+	if core.codecs.Len() != 3 {
+		t.Fatalf("%d cached pairs, want 3", core.codecs.Len())
+	}
+	if _, err := core.resolve("sz-lorenzo", "", 0, 0, math.Inf(1)); err == nil {
+		t.Fatal("resolve accepted an infinite error bound")
 	}
 }
 

@@ -162,7 +162,7 @@ func (c *TableCache) Stats() TableStats {
 // codecs (the raw baseline) yield a nil pair; lossy codecs additionally
 // build their lossless base for exact regions. This is the codec
 // construction the experiment Runner delegates to.
-func (c *TableCache) Codecs(w workloads.Workload, codec string, mag compress.MAG, thresholdBits int) (lossless, lossy compress.Codec, err error) {
+func (c *TableCache) Codecs(w workloads.Workload, codec string, mag compress.MAG, thresholdBits int, errorBound float64) (lossless, lossy compress.Codec, err error) {
 	info, ok := compress.Lookup(codec)
 	if !ok {
 		return nil, nil, compress.UnknownCodecError(codec)
@@ -170,7 +170,7 @@ func (c *TableCache) Codecs(w workloads.Workload, codec string, mag compress.MAG
 	if info.Identity {
 		return nil, nil, nil
 	}
-	ctx := compress.BuildContext{MAG: mag, ThresholdBits: thresholdBits}
+	ctx := compress.BuildContext{MAG: mag, ThresholdBits: thresholdBits, ErrorBound: errorBound}
 	if info.NeedsTable {
 		tab, err := c.Table(w)
 		if err != nil {

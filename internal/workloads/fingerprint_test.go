@@ -4,7 +4,7 @@ import "testing"
 
 func TestFingerprintsAreStableAndDistinct(t *testing.T) {
 	seen := make(map[string]string)
-	for _, w := range Registry() {
+	for _, w := range All() {
 		fp := Fingerprint(w)
 		if len(fp) != 16 {
 			t.Errorf("%s: fingerprint %q is not 16 hex chars", w.Info().Name, fp)
@@ -15,6 +15,26 @@ func TestFingerprintsAreStableAndDistinct(t *testing.T) {
 		seen[fp] = w.Info().Name
 		if again := Fingerprint(w); again != fp {
 			t.Errorf("%s: fingerprint unstable across calls (%s vs %s)", w.Info().Name, fp, again)
+		}
+	}
+}
+
+// TestFloatWorkloadFingerprintGoldens pins the HPC float-field fingerprints.
+// These feed the content-addressed result store keys: an unintentional
+// change to a workload's identity or generator parameters shows up here
+// before it silently invalidates (or worse, aliases) stored results. A
+// deliberate change to the generators must bump GenVersion, which moves
+// every fingerprint at once — regenerate the constants below when it does.
+func TestFloatWorkloadFingerprintGoldens(t *testing.T) {
+	want := map[string]string{
+		"HPC-S": "cafc2e846622d869",
+		"HPC-T": "2406f051f00a2685",
+		"HPC-X": "04bbc9deeea31ad3",
+	}
+	for _, w := range FloatRegistry() {
+		name := w.Info().Name
+		if got := Fingerprint(w); got != want[name] {
+			t.Errorf("%s: fingerprint %s, want golden %s", name, got, want[name])
 		}
 	}
 }

@@ -1,0 +1,96 @@
+package workloads
+
+import "math"
+
+// HPC float-field generators (ROADMAP item 2). Unlike the quantised inputs
+// in gen.go these are full-precision float32 fields: the mantissa carries
+// real entropy, so lossless codecs find little to remove and the
+// error-bounded sz family is the interesting operating point. The three
+// profiles bracket the scientific-data spectrum the SZ/cuSZ literature
+// evaluates: smooth (climate/CFD slices), turbulent (multi-scale noise) and
+// sparse/spiky (particle deposits, near-empty matrices).
+
+// SmoothField synthesises n values of a smooth 1-D field: a sum of a few
+// low-frequency sinusoidal modes with random phases and a slow linear
+// drift. Adjacent values differ by small residuals, the best case for the
+// Lorenzo/linear predictors.
+func SmoothField(n int, seed uint64) []float32 {
+	rng := newRNG(seed)
+	type mode struct{ freq, amp, phase float64 }
+	modes := make([]mode, 5)
+	for i := range modes {
+		modes[i] = mode{
+			freq:  (1 + 7*rng.float01()) * float64(i+1),
+			amp:   1.0 / float64(i+1),
+			phase: rng.float01() * 2 * math.Pi,
+		}
+	}
+	drift := rng.float01() - 0.5
+	out := make([]float32, n)
+	for i := range out {
+		t := float64(i) / float64(n)
+		v := drift * t
+		for _, m := range modes {
+			v += m.amp * math.Sin(2*math.Pi*m.freq*t+m.phase)
+		}
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// TurbulentField synthesises n values of multi-scale value noise: octaves
+// of linearly interpolated random lattices with amplitude falling as
+// 1/f^0.75, the rough spectrum of turbulence. Residuals spread over many
+// quantization bins, stressing the codebook's tail.
+func TurbulentField(n int, seed uint64) []float32 {
+	rng := newRNG(seed)
+	out := make([]float32, n)
+	lattice := make([]float64, 0, 1<<11)
+	period := 1 << 8
+	amp := 1.0
+	for octave := 0; octave < 5; octave++ {
+		points := n/period + 2
+		lattice = lattice[:0]
+		for i := 0; i < points; i++ {
+			lattice = append(lattice, (rng.float01()*2-1)*amp)
+		}
+		for i := range out {
+			pos := float64(i) / float64(period)
+			k := int(pos)
+			frac := pos - float64(k)
+			out[i] += float32(lattice[k]*(1-frac) + lattice[k+1]*frac)
+		}
+		period /= 4
+		if period < 1 {
+			period = 1
+		}
+		amp *= 0.5
+	}
+	return out
+}
+
+// SparseField synthesises n values that are mostly zero with occasional
+// exponential spikes (about 3% fill), the profile of particle-deposit grids
+// and near-empty sparse matrices. Long zero runs quantize to all-zero
+// residuals; the spikes force literal fallbacks.
+func SparseField(n int, seed uint64) []float32 {
+	rng := newRNG(seed)
+	out := make([]float32, n)
+	i := 0
+	for i < n {
+		// Geometric gap between spikes, mean ~32 values.
+		gap := 1 + int(-32*math.Log(1-rng.float01()))
+		i += gap
+		if i >= n {
+			break
+		}
+		spike := float32(math.Exp(6*rng.float01()-3) * (rng.float01()*2 - 1))
+		out[i] = spike
+		// A short decaying tail after each spike.
+		for t := 1; t <= 3 && i+t < n; t++ {
+			out[i+t] = spike * float32(math.Pow(0.25, float64(t)))
+		}
+		i += 4
+	}
+	return out
+}

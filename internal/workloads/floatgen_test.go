@@ -1,0 +1,110 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gpu/device"
+)
+
+var floatGens = []struct {
+	name string
+	gen  func(n int, seed uint64) []float32
+}{
+	{"SmoothField", SmoothField},
+	{"TurbulentField", TurbulentField},
+	{"SparseField", SparseField},
+}
+
+// TestFloatGeneratorsSeededReproducible: the same (n, seed) must produce a
+// bitwise-identical field, and a different seed a different one — the
+// foundation of the fingerprint → result-store contract.
+func TestFloatGeneratorsSeededReproducible(t *testing.T) {
+	const n = 4096
+	for _, g := range floatGens {
+		a, b := g.gen(n, 11), g.gen(n, 11)
+		if len(a) != n || len(b) != n {
+			t.Fatalf("%s: wrong length %d/%d, want %d", g.name, len(a), len(b), n)
+		}
+		for i := range a {
+			if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+				t.Fatalf("%s: value %d differs across identical seeds (%g vs %g)", g.name, i, a[i], b[i])
+			}
+		}
+		c := g.gen(n, 12)
+		same := 0
+		for i := range a {
+			if math.Float32bits(a[i]) == math.Float32bits(c[i]) {
+				same++
+			}
+		}
+		// SparseField is mostly zeros, so require only that the seeds do not
+		// produce identical fields.
+		if same == n {
+			t.Errorf("%s: different seeds produced identical fields", g.name)
+		}
+	}
+}
+
+// TestFloatGeneratorsAreFinite: the fields feed NRMSE evaluation and the
+// bounded codecs' quantizer; every generated value must be finite.
+func TestFloatGeneratorsAreFinite(t *testing.T) {
+	for _, g := range floatGens {
+		for i, v := range g.gen(1<<14, 3) {
+			f := float64(v)
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				t.Fatalf("%s: value %d is %v", g.name, i, v)
+			}
+		}
+	}
+}
+
+// TestFloatGeneratorShapes pins each profile's defining character: smooth
+// fields have small adjacent deltas relative to their range, turbulent
+// fields have much larger relative deltas, and sparse fields are mostly
+// zero.
+func TestFloatGeneratorShapes(t *testing.T) {
+	const n = 1 << 14
+	meanDelta := func(vals []float32) float64 {
+		sum := 0.0
+		for i := 1; i < len(vals); i++ {
+			sum += math.Abs(float64(vals[i]) - float64(vals[i-1]))
+		}
+		return sum / float64(len(vals)-1)
+	}
+	smooth, turb, sparse := SmoothField(n, 3), TurbulentField(n, 3), SparseField(n, 3)
+	if ds, dt := meanDelta(smooth), meanDelta(turb); ds*5 > dt {
+		t.Errorf("smooth mean delta %g not well below turbulent %g", ds, dt)
+	}
+	zeros := 0
+	for _, v := range sparse {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if frac := float64(zeros) / n; frac < 0.5 {
+		t.Errorf("sparse field only %.0f%% zero", frac*100)
+	}
+}
+
+// TestFloatRegistryRunsFunctionally executes each HPC workload with a no-op
+// sync and checks it produces a full, finite output vector.
+func TestFloatRegistryRunsFunctionally(t *testing.T) {
+	for _, w := range FloatRegistry() {
+		w := w
+		t.Run(w.Info().Name, func(t *testing.T) {
+			out, err := w.Run(NewCtx(device.New(), nil, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != hpcN {
+				t.Fatalf("output length %d, want %d", len(out), hpcN)
+			}
+			for i, v := range out {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("output %d is %v", i, v)
+				}
+			}
+		})
+	}
+}

@@ -69,20 +69,48 @@ func Registry() []Workload {
 	}
 }
 
-// ByName returns the workload with the given Table III name.
+// FloatRegistry returns the post-paper HPC float-field workloads (ROADMAP
+// item 2). They are deliberately not part of Registry(): the paper figures,
+// the smoke matrix and the committed goldens iterate the Table III suite
+// only, so adding scenarios here never perturbs them.
+func FloatRegistry() []Workload {
+	return []Workload{
+		NewHPCSmooth(),
+		NewHPCTurbulent(),
+		NewHPCSparse(),
+	}
+}
+
+// All returns every workload: the Table III suite followed by the HPC
+// float fields.
+func All() []Workload {
+	return append(Registry(), FloatRegistry()...)
+}
+
+// ByName returns the workload with the given name, searching the Table III
+// suite and the HPC float fields.
 func ByName(name string) (Workload, error) {
-	for _, w := range Registry() {
+	for _, w := range All() {
 		if w.Info().Name == name {
 			return w, nil
 		}
 	}
-	return nil, fmt.Errorf("workloads: unknown benchmark %q (available: %v)", name, Names())
+	return nil, fmt.Errorf("workloads: unknown benchmark %q (available: %v)", name, AllNames())
 }
 
-// Names lists the registry names in order.
+// Names lists the Table III registry names in order.
 func Names() []string {
 	var out []string
 	for _, w := range Registry() {
+		out = append(out, w.Info().Name)
+	}
+	return out
+}
+
+// AllNames lists every workload name, Table III first.
+func AllNames() []string {
+	var out []string
+	for _, w := range All() {
 		out = append(out, w.Info().Name)
 	}
 	return out
